@@ -1,0 +1,197 @@
+//! Complex FFT kernels used by the out-of-core FFT application.
+//!
+//! A plain iterative radix-2 Cooley–Tukey FFT on split `(re, im)` arrays,
+//! plus a quadratic-time reference DFT for validation. The application's
+//! I/O behaviour does not depend on these values, but carrying real data
+//! lets tests verify the out-of-core pipeline end-to-end.
+
+use std::f64::consts::PI;
+
+/// In-place radix-2 FFT of length `re.len() == im.len()` (a power of two).
+/// `inverse` selects the inverse transform (including the `1/n` scale).
+///
+/// # Panics
+/// Panics if the lengths differ or are not a power of two.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cr = 1.0f64;
+            let mut ci = 0.0f64;
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in re.iter_mut() {
+            *v *= inv;
+        }
+        for v in im.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Reference O(n²) DFT for validation.
+pub fn dft_reference(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let mut or = vec![0.0; n];
+    let mut oi = vec![0.0; n];
+    for (k, (orx, oix)) in or.iter_mut().zip(oi.iter_mut()).enumerate() {
+        for j in 0..n {
+            let ang = -2.0 * PI * (k * j) as f64 / n as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            *orx += re[j] * c - im[j] * s;
+            *oix += re[j] * s + im[j] * c;
+        }
+    }
+    (or, oi)
+}
+
+/// FLOPs of one radix-2 FFT of length `n` (the standard `5 n log₂ n`).
+pub fn fft_flops(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// Pack interleaved complex bytes (re, im little-endian pairs) from split
+/// arrays.
+pub fn pack_complex(re: &[f64], im: &[f64]) -> Vec<u8> {
+    assert_eq!(re.len(), im.len());
+    let mut out = Vec::with_capacity(re.len() * 16);
+    for (r, i) in re.iter().zip(im) {
+        out.extend_from_slice(&r.to_le_bytes());
+        out.extend_from_slice(&i.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack interleaved complex bytes into split arrays.
+pub fn unpack_complex(bytes: &[u8]) -> (Vec<f64>, Vec<f64>) {
+    assert!(bytes.len().is_multiple_of(16), "complex bytes come in 16s");
+    let n = bytes.len() / 16;
+    let mut re = Vec::with_capacity(n);
+    let mut im = Vec::with_capacity(n);
+    for c in bytes.chunks_exact(16) {
+        re.push(f64::from_le_bytes(c[..8].try_into().expect("8")));
+        im.push(f64::from_le_bytes(c[8..].try_into().expect("8")));
+    }
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        let n = 32;
+        let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let im: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let (er, ei) = dft_reference(&re, &im);
+        let mut fr = re.clone();
+        let mut fi = im.clone();
+        fft_inplace(&mut fr, &mut fi, false);
+        assert!(close(&fr, &er, 1e-9), "{fr:?} vs {er:?}");
+        assert!(close(&fi, &ei, 1e-9));
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let n = 256;
+        let re: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let im: Vec<f64> = (0..n).map(|i| ((i * 3 % 17) as f64) * 0.5).collect();
+        let mut fr = re.clone();
+        let mut fi = im.clone();
+        fft_inplace(&mut fr, &mut fi, false);
+        fft_inplace(&mut fr, &mut fi, true);
+        assert!(close(&fr, &re, 1e-9));
+        assert!(close(&fi, &im, 1e-9));
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut re = vec![0.0; 16];
+        let mut im = vec![0.0; 16];
+        re[0] = 1.0;
+        fft_inplace(&mut re, &mut im, false);
+        assert!(re.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+        assert!(im.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 64;
+        let re: Vec<f64> = (0..n).map(|i| (i as f64).sqrt().sin()).collect();
+        let im = vec![0.0; n];
+        let time_energy: f64 = re.iter().map(|v| v * v).sum();
+        let mut fr = re.clone();
+        let mut fi = im.clone();
+        fft_inplace(&mut fr, &mut fi, false);
+        let freq_energy: f64 =
+            fr.iter().zip(&fi).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_pack_roundtrip() {
+        let re = vec![1.0, -2.5, 3.25];
+        let im = vec![0.5, 0.0, -7.0];
+        let (r2, i2) = unpack_complex(&pack_complex(&re, &im));
+        assert_eq!(r2, re);
+        assert_eq!(i2, im);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_inplace(&mut re, &mut im, false);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(fft_flops(1), 0.0);
+        assert!((fft_flops(1024) - 5.0 * 1024.0 * 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,16 @@
+//! # iosim-apps — the paper's five I/O-intensive applications
+//!
+//! Simulated workloads reproducing each application's I/O pattern and
+//! compute/IO balance, in unoptimized and optimized variants.
+
+pub mod common;
+pub mod registry;
+pub mod replay;
+pub mod scf11;
+pub mod ast;
+pub mod btio;
+pub mod dsp;
+pub mod fft;
+pub mod scf30;
+
+pub use common::{run_ranks, AppCtx, RunResult};

@@ -1,0 +1,175 @@
+//! Application registry — the paper's Table 1.
+
+/// Static description of one application of the experimental suite.
+#[derive(Clone, Copy, Debug)]
+pub struct AppInfo {
+    /// Application name.
+    pub name: &'static str,
+    /// Source institution.
+    pub source: &'static str,
+    /// Lines of code reported by the paper.
+    pub lines: u32,
+    /// One-line description.
+    pub description: &'static str,
+    /// Platform used in the paper.
+    pub platform: &'static str,
+    /// Type of I/O.
+    pub io_type: &'static str,
+    /// Optimizations found effective (the paper's Table 5 ticks).
+    pub effective_optimizations: &'static [&'static str],
+}
+
+/// The five applications, in the paper's order (Tables 1 and 5).
+pub const APPLICATIONS: [AppInfo; 5] = [
+    AppInfo {
+        name: "SCF 1.1",
+        source: "PNL",
+        lines: 16_500,
+        description: "self consistent field computation",
+        platform: "Paragon",
+        io_type: "writes integrals to disk, and reads them",
+        effective_optimizations: &["efficient interface", "prefetching"],
+    },
+    AppInfo {
+        name: "SCF 3.0",
+        source: "PNL",
+        lines: 19_000,
+        description: "self consistent field computation",
+        platform: "Paragon",
+        io_type: "writes integrals to disk, and reads them",
+        effective_optimizations: &["efficient interface", "prefetching", "balanced I/O"],
+    },
+    AppInfo {
+        name: "FFT",
+        source: "authors",
+        lines: 500,
+        description: "2D out-of-core FFT",
+        platform: "Paragon",
+        io_type: "reads and writes two matrices",
+        effective_optimizations: &["file layout"],
+    },
+    AppInfo {
+        name: "BTIO",
+        source: "NASA Ames",
+        lines: 6_713,
+        description: "simulates the I/O required by a flow solver",
+        platform: "SP-2",
+        io_type: "periodic writes of arrays",
+        effective_optimizations: &["collective I/O"],
+    },
+    AppInfo {
+        name: "AST",
+        source: "Univ. of Chicago",
+        lines: 17_000,
+        description: "simulates gravitational collapses of clouds",
+        platform: "Paragon",
+        io_type: "writes arrays for check-pointing",
+        effective_optimizations: &["collective I/O"],
+    },
+];
+
+/// All optimization techniques of Table 5, in column order.
+pub const TECHNIQUES: [&str; 5] = [
+    "collective I/O",
+    "file layout",
+    "efficient interface",
+    "prefetching",
+    "balanced I/O",
+];
+
+/// Render Table 1 as aligned text.
+pub fn render_table1() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<9} {:<17} {:>7} {:<46} {:<9} Type of I/O",
+        "App", "Source", "Lines", "Description", "Platform"
+    );
+    for a in &APPLICATIONS {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<17} {:>7} {:<46} {:<9} {}",
+            a.name, a.source, a.lines, a.description, a.platform, a.io_type
+        );
+    }
+    out
+}
+
+/// Render Table 5 (applications × effective optimizations) as text.
+pub fn render_table5() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{:<9}", "App");
+    for t in &TECHNIQUES {
+        let _ = write!(out, " {:>20}", t);
+    }
+    let _ = writeln!(out);
+    for a in &APPLICATIONS {
+        let _ = write!(out, "{:<9}", a.name);
+        for t in &TECHNIQUES {
+            let tick = if a.effective_optimizations.contains(t) {
+                "x"
+            } else {
+                ""
+            };
+            let _ = write!(out, " {:>20}", tick);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_applications_listed() {
+        assert_eq!(APPLICATIONS.len(), 5);
+        let names: Vec<&str> = APPLICATIONS.iter().map(|a| a.name).collect();
+        assert_eq!(names, ["SCF 1.1", "SCF 3.0", "FFT", "BTIO", "AST"]);
+    }
+
+    #[test]
+    fn table5_ticks_match_the_paper() {
+        let by_name = |n: &str| {
+            APPLICATIONS
+                .iter()
+                .find(|a| a.name == n)
+                .expect("app exists")
+        };
+        assert!(by_name("BTIO")
+            .effective_optimizations
+            .contains(&"collective I/O"));
+        assert!(by_name("FFT").effective_optimizations.contains(&"file layout"));
+        assert!(by_name("SCF 3.0")
+            .effective_optimizations
+            .contains(&"balanced I/O"));
+        assert!(!by_name("SCF 1.1")
+            .effective_optimizations
+            .contains(&"collective I/O"));
+    }
+
+    #[test]
+    fn every_tick_names_a_known_technique() {
+        for a in &APPLICATIONS {
+            for t in a.effective_optimizations {
+                assert!(TECHNIQUES.contains(t), "{t} is not a Table 5 column");
+            }
+        }
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let t1 = render_table1();
+        let t5 = render_table5();
+        for a in &APPLICATIONS {
+            assert!(t1.contains(a.name));
+            assert!(t5.contains(a.name));
+        }
+        for t in &TECHNIQUES {
+            assert!(t5.contains(t));
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! I/O trace replay: drive the simulated machine with a recorded
+//! application trace instead of a built-in workload.
+//!
+//! The paper's methodology is trace-driven at heart — Pablo records what
+//! the applications did, and the optimizations are judged by how they
+//! transform that operation stream. This module closes the loop for
+//! library users: record (or synthesize) a trace in a simple text format,
+//! then replay it
+//!
+//! - **directly** — each rank issues its operations in order
+//!   (seek + read/write), like the unoptimized applications; or
+//! - **collectively** — writes and reads are batched into two-phase
+//!   collective windows, showing what the optimization would buy that
+//!   workload before touching the real code.
+//!
+//! # Trace format
+//!
+//! One operation per line: `<rank> <r|w> <offset> <bytes>`. Blank lines
+//! and `#` comments are ignored.
+//!
+//! ```text
+//! # rank op offset bytes
+//! 0 w 0     65536
+//! 1 w 65536 65536
+//! 0 r 0     4096
+//! ```
+
+use std::fmt;
+
+use iosim_core::two_phase::{read_collective, write_collective, Piece, Span};
+use iosim_machine::{Interface, MachineConfig};
+use iosim_pfs::CreateOptions;
+
+use crate::common::{run_ranks, RunResult};
+
+/// Operation kind in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A read.
+    Read,
+    /// A write.
+    Write,
+}
+
+/// One traced operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Issuing rank.
+    pub rank: usize,
+    /// Read or write.
+    pub kind: TraceKind,
+    /// Absolute file offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Trace parse error with line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text trace format.
+///
+/// ```
+/// use iosim_apps::replay::{parse_trace, TraceKind};
+/// let ops = parse_trace("# demo\n0 w 0 4096\n1 r 4096 512\n").unwrap();
+/// assert_eq!(ops.len(), 2);
+/// assert_eq!(ops[1].kind, TraceKind::Read);
+/// assert!(parse_trace("0 q 0 1\n").is_err());
+/// ```
+pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, ParseError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseError {
+                line,
+                message: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let rank: usize = fields[0].parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad rank '{}'", fields[0]),
+        })?;
+        let kind = match fields[1] {
+            "r" | "R" => TraceKind::Read,
+            "w" | "W" => TraceKind::Write,
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("bad op '{other}' (expected r or w)"),
+                })
+            }
+        };
+        let offset: u64 = fields[2].parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad offset '{}'", fields[2]),
+        })?;
+        let len: u64 = fields[3].parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad length '{}'", fields[3]),
+        })?;
+        if len == 0 {
+            return Err(ParseError {
+                line,
+                message: "zero-length operation".into(),
+            });
+        }
+        ops.push(TraceOp {
+            rank,
+            kind,
+            offset,
+            len,
+        });
+    }
+    Ok(ops)
+}
+
+/// Render operations back to the text format.
+pub fn render_trace(ops: &[TraceOp]) -> String {
+    let mut out = String::from("# rank op offset bytes\n");
+    for op in ops {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            op.rank,
+            match op.kind {
+                TraceKind::Read => "r",
+                TraceKind::Write => "w",
+            },
+            op.offset,
+            op.len
+        ));
+    }
+    out
+}
+
+/// Replay configuration.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// The machine to replay on.
+    pub machine: MachineConfig,
+    /// Client interface for the direct path.
+    pub iface: Interface,
+    /// Batch writes/reads into two-phase collective windows of this many
+    /// operations per rank (`None` = direct replay).
+    pub collective_batch: Option<usize>,
+}
+
+impl ReplayConfig {
+    /// Direct replay on `machine` with the UNIX-style interface.
+    pub fn direct(machine: MachineConfig) -> ReplayConfig {
+        ReplayConfig {
+            machine,
+            iface: Interface::UnixStyle,
+            collective_batch: None,
+        }
+    }
+
+    /// Collective replay with windows of `batch` operations per rank.
+    pub fn collective(machine: MachineConfig, batch: usize) -> ReplayConfig {
+        assert!(batch > 0, "batch must be positive");
+        ReplayConfig {
+            machine,
+            iface: Interface::Passion,
+            collective_batch: Some(batch),
+        }
+    }
+}
+
+/// Number of ranks a trace needs.
+pub fn ranks_of(ops: &[TraceOp]) -> usize {
+    ops.iter().map(|o| o.rank + 1).max().unwrap_or(1)
+}
+
+/// File size a trace requires (max end offset).
+pub fn extent_of(ops: &[TraceOp]) -> u64 {
+    ops.iter().map(|o| o.offset + o.len).max().unwrap_or(0)
+}
+
+/// Replay `ops` under `cfg` and return the measurements.
+///
+/// # Panics
+/// Panics if the trace needs more ranks than the machine has compute
+/// nodes, or if a read precedes any write covering its range (the replay
+/// preallocates the full extent, so reads never fail, but a trace that
+/// reads unwritten data is usually a recording bug — it is allowed here
+/// since only timing is modelled).
+pub fn replay(ops: &[TraceOp], cfg: &ReplayConfig) -> RunResult {
+    let n = ranks_of(ops);
+    let extent = extent_of(ops);
+    assert!(
+        n <= cfg.machine.compute_nodes,
+        "trace needs {n} ranks but the machine has {}",
+        cfg.machine.compute_nodes
+    );
+    let mut per_rank: Vec<Vec<TraceOp>> = vec![Vec::new(); n];
+    for op in ops {
+        per_rank[op.rank].push(*op);
+    }
+    // All ranks must execute the same number of collective windows.
+    let windows = cfg
+        .collective_batch
+        .map(|b| per_rank.iter().map(|v| v.len().div_ceil(b)).max().unwrap_or(0));
+    let cfg2 = cfg.clone();
+    run_ranks(cfg.machine.clone(), n.max(1), move |ctx| {
+        let mine = per_rank.get(ctx.rank).cloned().unwrap_or_default();
+        let cfg = cfg2.clone();
+        Box::pin(async move {
+            let fh = ctx
+                .fs
+                .open(
+                    ctx.rank,
+                    cfg.iface,
+                    "replay.data",
+                    Some(CreateOptions::default()),
+                )
+                .await
+                .expect("open replay file");
+            fh.preallocate(extent);
+            match (cfg.collective_batch, windows) {
+                (Some(batch), Some(windows)) => {
+                    for w in 0..windows {
+                        let chunk: &[TraceOp] =
+                            mine.get(w * batch..).map_or(&[], |rest| {
+                                &rest[..rest.len().min(batch)]
+                            });
+                        let writes: Vec<Piece> = chunk
+                            .iter()
+                            .filter(|o| o.kind == TraceKind::Write)
+                            .map(|o| Piece::synthetic(o.offset, o.len))
+                            .collect();
+                        let reads: Vec<Span> = chunk
+                            .iter()
+                            .filter(|o| o.kind == TraceKind::Read)
+                            .map(|o| Span::new(o.offset, o.len))
+                            .collect();
+                        write_collective(&ctx.comm, &fh, writes)
+                            .await
+                            .expect("collective writes");
+                        read_collective(&ctx.comm, &fh, reads)
+                            .await
+                            .expect("collective reads");
+                    }
+                }
+                _ => {
+                    for op in &mine {
+                        fh.seek(op.offset).await;
+                        match op.kind {
+                            TraceKind::Read => {
+                                fh.read_discard(op.len).await.expect("replay read")
+                            }
+                            TraceKind::Write => {
+                                fh.write_discard(op.len).await.expect("replay write")
+                            }
+                        }
+                    }
+                }
+            }
+            ctx.comm.barrier().await;
+            fh.close().await;
+        })
+    })
+}
+
+/// Synthesize a strided checkpoint-style trace: `ranks` ranks each
+/// writing `ops_per_rank` interleaved records of `record` bytes.
+pub fn synthesize_strided(ranks: usize, ops_per_rank: u64, record: u64) -> Vec<TraceOp> {
+    let mut ops = Vec::with_capacity(ranks * ops_per_rank as usize);
+    for k in 0..ops_per_rank {
+        for r in 0..ranks {
+            ops.push(TraceOp {
+                rank: r,
+                kind: TraceKind::Write,
+                offset: (k * ranks as u64 + r as u64) * record,
+                len: record,
+            });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim_machine::presets;
+
+    #[test]
+    fn parse_roundtrips_through_render() {
+        let ops = vec![
+            TraceOp {
+                rank: 0,
+                kind: TraceKind::Write,
+                offset: 0,
+                len: 100,
+            },
+            TraceOp {
+                rank: 3,
+                kind: TraceKind::Read,
+                offset: 4096,
+                len: 512,
+            },
+        ];
+        let text = render_trace(&ops);
+        assert_eq!(parse_trace(&text).unwrap(), ops);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let ops = parse_trace("# header\n\n0 w 0 10 # trailing\n\n1 r 10 5\n").unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].kind, TraceKind::Read);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_trace("0 w 0 10\n0 x 0 10\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad op"));
+        let err = parse_trace("0 w 0\n").unwrap_err();
+        assert!(err.message.contains("4 fields"));
+        let err = parse_trace("0 w 0 0\n").unwrap_err();
+        assert!(err.message.contains("zero-length"));
+    }
+
+    #[test]
+    fn extent_and_ranks_derive_from_ops() {
+        let ops = synthesize_strided(4, 10, 256);
+        assert_eq!(ranks_of(&ops), 4);
+        assert_eq!(extent_of(&ops), 4 * 10 * 256);
+    }
+
+    #[test]
+    fn direct_replay_issues_every_op() {
+        let ops = synthesize_strided(4, 25, 512);
+        let res = replay(&ops, &ReplayConfig::direct(presets::sp2()));
+        assert_eq!(res.summary.rows[3].count, 100); // writes
+        assert_eq!(res.summary.rows[2].count, 100); // seeks
+        assert_eq!(res.io_bytes, 100 * 512);
+    }
+
+    #[test]
+    fn collective_replay_is_faster_for_strided_writes() {
+        let ops = synthesize_strided(4, 100, 512);
+        let direct = replay(&ops, &ReplayConfig::direct(presets::sp2()));
+        let coll = replay(&ops, &ReplayConfig::collective(presets::sp2(), 100));
+        assert!(
+            coll.exec_time.as_secs_f64() < direct.exec_time.as_secs_f64() / 2.0,
+            "collective replay should win: {:?} vs {:?}",
+            coll.exec_time,
+            direct.exec_time
+        );
+        assert_eq!(coll.io_bytes, direct.io_bytes);
+    }
+
+    #[test]
+    fn uneven_rank_op_counts_stay_collectively_aligned() {
+        // Rank 0 has 7 ops, rank 1 has 2: windows must still align.
+        let mut ops = Vec::new();
+        for k in 0..7u64 {
+            ops.push(TraceOp {
+                rank: 0,
+                kind: TraceKind::Write,
+                offset: k * 100,
+                len: 100,
+            });
+        }
+        for k in 0..2u64 {
+            ops.push(TraceOp {
+                rank: 1,
+                kind: TraceKind::Write,
+                offset: 1000 + k * 100,
+                len: 100,
+            });
+        }
+        let res = replay(&ops, &ReplayConfig::collective(presets::sp2(), 3));
+        assert_eq!(res.io_bytes, 900);
+    }
+
+    #[test]
+    fn mixed_reads_and_writes_replay() {
+        let text = "0 w 0 1000\n1 w 1000 1000\n0 r 1000 500\n1 r 0 500\n";
+        let ops = parse_trace(text).unwrap();
+        let res = replay(&ops, &ReplayConfig::direct(presets::paragon_small()));
+        assert_eq!(res.summary.rows[1].bytes, 1000);
+        assert_eq!(res.summary.rows[3].bytes, 2000);
+        let coll = replay(&ops, &ReplayConfig::collective(presets::paragon_small(), 4));
+        assert_eq!(coll.summary.rows[1].bytes + coll.summary.rows[3].bytes, 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace needs")]
+    fn too_many_ranks_rejected() {
+        let ops = synthesize_strided(100, 1, 10);
+        let _ = replay(&ops, &ReplayConfig::direct(presets::sp2()));
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion benches for the paper's figures. Each bench group
+//! regenerates its figure once (printed to stdout) and measures the
+//! underlying simulation at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iosim_bench::experiments;
+
+const SCALE: f64 = 0.02;
+
+fn bench_fig1(c: &mut Criterion) {
+    println!("{}", experiments::scf11::fig1(SCALE).render_markdown());
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("scf11_tuples", |b| {
+        b.iter(|| std::hint::black_box(experiments::scf11::fig1(SCALE).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("{}", experiments::scf11::fig2(SCALE).render_markdown());
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("scf11_scaling", |b| {
+        b.iter(|| std::hint::black_box(experiments::scf11::fig2(SCALE).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("{}", experiments::scf11::fig3(SCALE).render_markdown());
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("scf11_io_nodes", |b| {
+        b.iter(|| std::hint::black_box(experiments::scf11::fig3(SCALE).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    println!("{}", experiments::scf30::fig4(SCALE).render_markdown());
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("scf30_cached_fraction", |b| {
+        b.iter(|| std::hint::black_box(experiments::scf30::fig4(SCALE).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("{}", experiments::fft::fig5(0.004).render_markdown());
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("fft_layouts", |b| {
+        b.iter(|| std::hint::black_box(experiments::fft::fig5(0.004).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    println!("{}", experiments::btio::fig6(0.1).render_markdown());
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("btio_times", |b| {
+        b.iter(|| std::hint::black_box(experiments::btio::fig6(0.05).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("{}", experiments::btio::fig7(0.1).render_markdown());
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("btio_bandwidths", |b| {
+        b.iter(|| std::hint::black_box(experiments::btio::fig7(0.05).comparisons.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(figures);

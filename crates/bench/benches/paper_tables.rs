@@ -1,0 +1,58 @@
+//! Criterion benches for the paper's tables. Each bench group regenerates
+//! its table once (printed to stdout) and then measures the underlying
+//! simulation at reduced scale, so `cargo bench` both reproduces the
+//! table's rows and tracks the simulator's host-side performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iosim_bench::experiments;
+
+/// Reduced scale keeps one bench iteration in the tens of milliseconds.
+const SCALE: f64 = 0.02;
+
+fn bench_table1(c: &mut Criterion) {
+    let report = experiments::summary::table1();
+    println!("{}", report.render_markdown());
+    c.bench_function("table1/registry", |b| {
+        b.iter(|| std::hint::black_box(experiments::summary::table1().body.len()))
+    });
+}
+
+fn bench_table2_3(c: &mut Criterion) {
+    let (t2, t3) = experiments::scf11::table2_table3(SCALE);
+    println!("{}", t2.render_markdown());
+    println!("{}", t3.render_markdown());
+    let mut g = c.benchmark_group("table2_3");
+    g.sample_size(10);
+    g.bench_function("scf11_original_and_passion", |b| {
+        b.iter(|| {
+            let (a, bb) = experiments::scf11::table2_table3(SCALE);
+            std::hint::black_box((a.comparisons.len(), bb.comparisons.len()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let report = experiments::ast::table4(0.2);
+    println!("{}", report.render_markdown());
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("ast_grid", |b| {
+        b.iter(|| std::hint::black_box(experiments::ast::table4(0.1).comparisons.len()))
+    });
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let report = experiments::summary::table5(SCALE);
+    println!("{}", report.render_markdown());
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("effectiveness_matrix", |b| {
+        b.iter(|| std::hint::black_box(experiments::summary::table5(SCALE).comparisons.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2_3, bench_table4, bench_table5);
+criterion_main!(tables);

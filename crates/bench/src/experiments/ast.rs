@@ -1,0 +1,114 @@
+//! AST experiment: Table 4 (execution times, unoptimized vs two-phase,
+//! 16 vs 64 I/O nodes).
+
+use iosim_apps::ast::{run, AstConfig};
+use iosim_apps::RunResult;
+use iosim_trace::report::{Comparison, ExperimentReport};
+
+use crate::parallel::{default_threads, map_parallel};
+
+/// Processor counts of Table 4.
+pub const PROCS: [usize; 4] = [16, 36, 64, 121];
+
+/// The paper's Table 4 rows use 16/32/64/128 processors; AST here uses a
+/// square process grid, so we take the nearest squares 16/36/64/121 and
+/// note the substitution in EXPERIMENTS.md.
+pub fn table4(scale: f64) -> ExperimentReport {
+    let dumps = ((10.0 * scale).round() as u32).clamp(1, 10);
+    let grid_dim = if scale >= 0.99 { 2048 } else { 512 };
+    let mk = |p: usize, io: usize, opt: bool| AstConfig {
+        dumps,
+        grid: grid_dim,
+        ..AstConfig::new(p, io, opt)
+    };
+    let mut jobs = Vec::new();
+    for &p in &PROCS {
+        for (io, opt) in [(16, false), (64, false), (16, true), (64, true)] {
+            jobs.push(mk(p, io, opt));
+        }
+    }
+    let flat = map_parallel(jobs, default_threads(), run);
+    let cell = |pi: usize, k: usize| -> &RunResult { &flat[pi * 4 + k] };
+
+    let mut report = ExperimentReport::new(
+        "Table 4: AST total execution times (s) — 2K×2K input, Intel Paragon",
+    );
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{:>6} {:>18} {:>18} {:>18} {:>18}\n",
+        "procs", "unopt 16 I/O", "unopt 64 I/O", "opt 16 I/O", "opt 64 I/O"
+    ));
+    for (pi, &p) in PROCS.iter().enumerate() {
+        body.push_str(&format!(
+            "{:>6} {:>18.0} {:>18.0} {:>18.0} {:>18.0}\n",
+            p,
+            cell(pi, 0).exec_time.as_secs_f64(),
+            cell(pi, 1).exec_time.as_secs_f64(),
+            cell(pi, 2).exec_time.as_secs_f64(),
+            cell(pi, 3).exec_time.as_secs_f64(),
+        ));
+    }
+    report.push_body(&body);
+
+    // Paper claims:
+    // 1. The optimized version is dramatically faster at every cell.
+    let opt_wins_everywhere = (0..PROCS.len()).all(|pi| {
+        cell(pi, 2).exec_time < cell(pi, 0).exec_time
+            && cell(pi, 3).exec_time < cell(pi, 1).exec_time
+    });
+    report.push(Comparison::claim(
+        "two-phase beats Chameleon-style I/O at every processor count",
+        "significant performance improvement in the overall execution time",
+        opt_wins_everywhere,
+    ));
+    let mid_gain =
+        cell(1, 0).exec_time.as_secs_f64() / cell(1, 2).exec_time.as_secs_f64();
+    report.push(Comparison::claim(
+        "the improvement is large (≥3× at 36 procs)",
+        "huge reduction in the I/O time (paper: 1203 s → 100 s at 32 procs)",
+        mid_gain > 3.0,
+    ));
+    // 2. Going 16 → 64 I/O nodes changes little compared to the software fix.
+    let hw_gain =
+        cell(1, 0).exec_time.as_secs_f64() / cell(1, 1).exec_time.as_secs_f64();
+    report.push(Comparison::claim(
+        "collective I/O matters more than 4× the I/O nodes",
+        "this factor is more important than increasing the I/O nodes",
+        mid_gain > 2.0 * hw_gain,
+    ));
+    // 3. Unoptimized time keeps decreasing with processors.
+    let unopt_decreasing = (1..PROCS.len())
+        .all(|pi| cell(pi, 0).exec_time <= cell(pi - 1, 0).exec_time);
+    report.push(Comparison::claim(
+        "unoptimized time decreases with processors (compute-dominated tail)",
+        "2557 → 1203 → 638 → 385 s",
+        unopt_decreasing,
+    ));
+    report
+}
+
+/// Table 5 helper: collective-I/O gain on a small AST.
+pub fn collective_gain(scale: f64) -> f64 {
+    let mk = |opt: bool| AstConfig {
+        grid: 128,
+        arrays: 2,
+        dumps: ((4.0 * scale).round() as u32).clamp(1, 4),
+        ..AstConfig::new(16, 16, opt)
+    };
+    let u = run(&mk(false));
+    let o = run(&mk(true));
+    u.exec_time.as_secs_f64() / o.exec_time.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::scf11::assert_shape;
+
+    #[test]
+    fn table4_shape_holds_at_small_scale() {
+        let r = table4(0.2);
+        assert_shape(&r);
+        assert!(r.body.contains("unopt 16 I/O"));
+    }
+}

@@ -1,0 +1,538 @@
+//! Extension experiments beyond the paper (DESIGN.md §9): failure
+//! injection on the I/O subsystem, data sieving vs two-phase I/O, the
+//! collective-buffer-size ablation, mesh-link contention, the
+//! disk-based/re-compute crossover, and the 1998 playbook on modern
+//! hardware.
+
+use iosim_apps::common::run_ranks;
+use iosim_apps::scf11::{Scf11Config, Scf11Version, ScfInput};
+use iosim_core::sieve::write_sieved;
+use iosim_core::two_phase::{write_collective, write_collective_buffered, Piece};
+use iosim_machine::{presets, Interface};
+use iosim_pfs::CreateOptions;
+use iosim_trace::figure::{Series, TextFigure};
+use iosim_trace::report::{Comparison, ExperimentReport};
+
+use crate::parallel::{default_threads, map_parallel};
+
+/// Extension 1: hot-spot sensitivity. Degrade one of 16 I/O nodes and
+/// measure SCF 1.1. Round-robin striping drags every striped operation to
+/// the slowest node, so a single degraded node costs far more than 1/16th
+/// of the bandwidth — quantifying how fragile the "balanced architecture"
+/// is to heterogeneity.
+pub fn ext_hotspot(scale: f64) -> ExperimentReport {
+    let speeds = [1.0f64, 0.5, 0.25, 0.1];
+    let jobs: Vec<f64> = speeds.to_vec();
+    let results = map_parallel(jobs, default_threads(), |&speed| {
+        let cfg = Scf11Config {
+            procs: 16,
+            io_nodes: 16,
+            scale,
+            ..Scf11Config::new(ScfInput::Small, Scf11Version::Passion)
+        };
+        // Run through the generic harness with a degraded machine.
+        run_scf11_degraded(&cfg, speed)
+    });
+    let mut report = ExperimentReport::new(
+        "Extension 1: hot-spot sensitivity — one degraded I/O node (SCF 1.1, 16 procs, 16 I/O nodes)",
+    );
+    let mut fig = TextFigure::new(
+        "execution time vs speed of the slowest I/O node",
+        "node speed",
+        "exec time (s)",
+    );
+    fig.push(Series::new(
+        "1 of 16 nodes degraded",
+        speeds
+            .iter()
+            .zip(&results)
+            .map(|(&s, &t)| (s, t))
+            .collect(),
+    ));
+    report.push_figure(fig);
+    let nominal = results[0];
+    let tenth = results[3];
+    report.push(Comparison::claim(
+        "a single 10%-speed node slows the whole run by >2x",
+        "striping couples every operation to the slowest node (extension; no paper value)",
+        tenth > 2.0 * nominal,
+    ));
+    // A node at 25% speed removes (1−0.25)/16 ≈ 4.7% of aggregate
+    // capacity; the run should slow far more than that.
+    let quarter_slowdown = (results[2] - nominal) / nominal;
+    report.push(Comparison::claim(
+        "degradation is superlinear in the lost capacity share",
+        "losing ~5% of aggregate capacity costs several times that",
+        quarter_slowdown > 3.0 * 0.047,
+    ));
+    report
+}
+
+fn run_scf11_degraded(cfg: &Scf11Config, hot_speed: f64) -> f64 {
+    // scf11::run builds its machine internally; for the degraded variant
+    // we reproduce its read phase shape with the generic harness.
+    let mcfg = presets::paragon_large()
+        .with_compute_nodes(cfg.procs)
+        .with_io_nodes(cfg.io_nodes)
+        .with_degraded_io_node(0, hot_speed);
+    let volume = ((iosim_apps::scf11::integral_volume(cfg.input.basis()) as f64)
+        * cfg.scale) as u64;
+    let per_proc = volume / cfg.procs as u64;
+    let res = run_ranks(mcfg, cfg.procs, move |ctx| {
+        Box::pin(async move {
+            let fh = ctx
+                .fs
+                .open(
+                    ctx.rank,
+                    Interface::Passion,
+                    &format!("hot.{}", ctx.rank),
+                    Some(CreateOptions::default()),
+                )
+                .await
+                .expect("open");
+            fh.preallocate(per_proc);
+            for iter in 0..5u64 {
+                let _ = iter;
+                let mut off = 0u64;
+                while off < per_proc {
+                    let len = (64 << 10).min(per_proc - off);
+                    fh.read_discard_at(off, len).await.expect("read");
+                    off += len;
+                }
+            }
+        })
+    });
+    res.exec_time.as_secs_f64()
+}
+
+/// Extension 2: data sieving vs two-phase I/O vs direct writes, on the
+/// BTIO dump pattern. Sieving needs no peers but transfers the holes;
+/// two-phase exchanges over the network and writes densely. On a
+/// high-density pattern both beat direct I/O, and two-phase wins once
+/// several processes interleave (its writes are hole-free).
+pub fn ext_sieve_vs_two_phase(scale: f64) -> ExperimentReport {
+    let _ = scale;
+    let procs = 4usize;
+    let records_per_rank = 200u64;
+    let record = 512u64;
+    let stride = 2048u64; // rank-interleaved: 25% density per rank
+
+    let run_variant = |variant: &'static str| -> f64 {
+        let res = run_ranks(
+            presets::sp2().with_compute_nodes(procs),
+            procs,
+            move |ctx| {
+                Box::pin(async move {
+                    let fh = ctx
+                        .fs
+                        .open(
+                            ctx.rank,
+                            Interface::UnixStyle,
+                            "sieve-cmp",
+                            Some(CreateOptions::default()),
+                        )
+                        .await
+                        .expect("open");
+                    let pieces: Vec<Piece> = (0..records_per_rank)
+                        .map(|k| {
+                            Piece::synthetic(
+                                k * stride + ctx.rank as u64 * record,
+                                record,
+                            )
+                        })
+                        .collect();
+                    match variant {
+                        "direct" => {
+                            for p in pieces {
+                                fh.seek(p.offset).await;
+                                fh.write_discard(p.payload.len).await.expect("write");
+                            }
+                        }
+                        "sieved" => {
+                            write_sieved(&fh, pieces).await.expect("sieve");
+                        }
+                        "two-phase" => {
+                            write_collective(&ctx.comm, &fh, pieces)
+                                .await
+                                .expect("collective");
+                        }
+                        _ => unreachable!(),
+                    }
+                    ctx.comm.barrier().await;
+                })
+            },
+        );
+        res.exec_time.as_secs_f64()
+    };
+
+    let direct = run_variant("direct");
+    let sieved = run_variant("sieved");
+    let two_phase = run_variant("two-phase");
+
+    let mut report = ExperimentReport::new(
+        "Extension 2: data sieving vs two-phase I/O (interleaved 25%-density writes, 4 procs)",
+    );
+    report.push_body(&format!(
+        "{:>12} {:>12} {:>12}   [exec time (s)]\n{:>12.2} {:>12.2} {:>12.2}\n",
+        "direct", "sieved", "two-phase", direct, sieved, two_phase
+    ));
+    report.push(Comparison::claim(
+        "sieving beats direct per-record writes",
+        "one RMW extent instead of hundreds of seeks (extension; no paper value)",
+        sieved < direct / 2.0,
+    ));
+    report.push(Comparison::claim(
+        "two-phase beats sieving when peers interleave",
+        "exchange removes the hole transfers entirely",
+        two_phase < sieved,
+    ));
+    report
+}
+
+/// Extension 3: the collective-buffer-size knob of
+/// [`write_collective_buffered`] — the PASSION/ROMIO "cb_buffer_size"
+/// trade-off.
+pub fn ext_collective_buffer(scale: f64) -> ExperimentReport {
+    let _ = scale;
+    let procs = 8usize;
+    let total: u64 = 16 << 20;
+    let per_rank = total / procs as u64;
+    let buffers = [64u64 << 10, 256 << 10, 1 << 20, 4 << 20];
+    let times = map_parallel(buffers.to_vec(), default_threads(), |&buf| {
+        let res = run_ranks(
+            presets::paragon_large()
+                .with_compute_nodes(procs)
+                .with_io_nodes(16),
+            procs,
+            move |ctx| {
+                Box::pin(async move {
+                    let fh = ctx
+                        .fs
+                        .open(
+                            ctx.rank,
+                            Interface::Passion,
+                            "cb",
+                            Some(CreateOptions::default()),
+                        )
+                        .await
+                        .expect("open");
+                    // Rank-strided pieces of 8 KB.
+                    let pieces: Vec<Piece> = (0..per_rank / 8192)
+                        .map(|k| {
+                            Piece::synthetic(
+                                (k * procs as u64 + ctx.rank as u64) * 8192,
+                                8192,
+                            )
+                        })
+                        .collect();
+                    write_collective_buffered(&ctx.comm, &fh, pieces, buf)
+                        .await
+                        .expect("buffered collective");
+                    ctx.comm.barrier().await;
+                })
+            },
+        );
+        res.exec_time.as_secs_f64()
+    });
+    let mut report = ExperimentReport::new(
+        "Extension 3: collective buffer size (16 MB strided write, 8 procs)",
+    );
+    let mut fig = TextFigure::new(
+        "execution time vs per-process collective buffer",
+        "buffer (KB)",
+        "exec time (s)",
+    );
+    fig.push(Series::new(
+        "two-phase, buffered",
+        buffers
+            .iter()
+            .zip(&times)
+            .map(|(&b, &t)| ((b >> 10) as f64, t))
+            .collect(),
+    ));
+    report.push_figure(fig);
+    report.push(Comparison::claim(
+        "larger collective buffers are monotonically cheaper (fewer rounds)",
+        "rounds = extent / (ranks x buffer) (extension; no paper value)",
+        times.windows(2).all(|w| w[1] <= w[0] * 1.05),
+    ));
+    report
+}
+
+/// Extension 4: mesh-link contention and the two-phase exchange. The
+/// collective's all-to-all is bisection-heavy; modelling per-link
+/// bandwidth shows how much headroom the default NIC-only model leaves.
+pub fn ext_link_contention(scale: f64) -> ExperimentReport {
+    let _ = scale;
+    let run_with = |contend: bool, procs: usize| -> f64 {
+        let mut mcfg = presets::paragon_large()
+            .with_compute_nodes(procs)
+            .with_io_nodes(16);
+        mcfg.net.link_contention = contend;
+        let res = run_ranks(mcfg, procs, move |ctx| {
+            Box::pin(async move {
+                let fh = ctx
+                    .fs
+                    .open(
+                        ctx.rank,
+                        Interface::Passion,
+                        "lc",
+                        Some(CreateOptions::default()),
+                    )
+                    .await
+                    .expect("open");
+                // Strided pieces so the exchange is all-to-all heavy.
+                let per_rank: u64 = 4 << 20;
+                let pieces: Vec<Piece> = (0..per_rank / 65536)
+                    .map(|k| {
+                        Piece::synthetic(
+                            (k * ctx.comm.size() as u64 + ctx.rank as u64) * 65536,
+                            65536,
+                        )
+                    })
+                    .collect();
+                write_collective(&ctx.comm, &fh, pieces)
+                    .await
+                    .expect("collective");
+                ctx.comm.barrier().await;
+            })
+        });
+        res.exec_time.as_secs_f64()
+    };
+    let mut report = ExperimentReport::new(
+        "Extension 4: mesh-link contention on the two-phase exchange (4 MB per process)",
+    );
+    let mut fig = TextFigure::new("execution time vs processes", "procs", "exec time (s)");
+    let procs = [8usize, 32, 64];
+    let mut at_64 = [0.0f64; 2];
+    for (ci, contend) in [false, true].into_iter().enumerate() {
+        let pts: Vec<(f64, f64)> = procs
+            .iter()
+            .map(|&p| (p as f64, run_with(contend, p)))
+            .collect();
+        at_64[ci] = pts.last().expect("procs non-empty").1;
+        fig.push(Series::new(
+            if contend {
+                "with link contention"
+            } else {
+                "NIC-only model"
+            },
+            pts,
+        ));
+    }
+    let slow_64 = at_64[1] / at_64[0];
+    report.push_figure(fig);
+    report.push(Comparison::claim(
+        "link contention never speeds the exchange up",
+        "per-link booking adds queueing on shared route links (extension; no paper value)",
+        slow_64 >= 1.0,
+    ));
+    report
+}
+
+/// Extension 5: the paper's concluding SCF anecdote, quantified — "for
+/// small numbers of compute nodes [users] use the version which makes
+/// I/O; for large numbers they tend to use the re-compute version, as the
+/// I/O version performs very poorly". Sweep processors for the disk-based
+/// (100% cached) and direct (0% cached) variants and locate the
+/// crossover.
+pub fn ext_disk_vs_recompute(scale: f64) -> ExperimentReport {
+    use iosim_apps::scf30::{run as scf30_run, Scf30Config};
+    let procs = [8usize, 32, 128, 256];
+    let sweep = |cached: u32| -> Vec<f64> {
+        let jobs: Vec<Scf30Config> = procs
+            .iter()
+            .map(|&p| Scf30Config {
+                io_nodes: 12,
+                scale,
+                ..Scf30Config::new(ScfInput::Medium, p, cached)
+            })
+            .collect();
+        map_parallel(jobs, default_threads(), scf30_run)
+            .into_iter()
+            .map(|r| r.run.exec_time.as_secs_f64())
+            .collect()
+    };
+    let disk = sweep(100);
+    let direct = sweep(0);
+    let mut report = ExperimentReport::new(
+        "Extension 5: disk-based vs re-compute SCF across processor counts (12 I/O nodes)",
+    );
+    let mut fig = TextFigure::new("execution time vs processes", "procs", "exec time (s)");
+    fig.push(Series::new(
+        "disk-based (100% cached)",
+        procs.iter().zip(&disk).map(|(&p, &t)| (p as f64, t)).collect(),
+    ));
+    fig.push(Series::new(
+        "direct (full re-compute)",
+        procs.iter().zip(&direct).map(|(&p, &t)| (p as f64, t)).collect(),
+    ));
+    report.push_figure(fig);
+    report.push(Comparison::claim(
+        "small processor counts favour the disk-based version",
+        "for small number of compute nodes, use the version of the code which makes I/O",
+        disk[0] < direct[0],
+    ));
+    report.push(Comparison::claim(
+        "large processor counts favour the re-compute version",
+        "for large number of compute nodes, they tend to use the re-compute version",
+        direct[procs.len() - 1] < disk[procs.len() - 1],
+    ));
+    report
+}
+
+/// Extension 6: does the 1998 playbook survive modern hardware? Re-run
+/// the technique-gain measurements on the anachronistic
+/// [`presets::modern_cluster`] (50 GFLOPS nodes, NVMe-class storage,
+/// microsecond interfaces) and compare against the period machines.
+///
+/// The measured finding is sharper than the folklore "flash killed
+/// seeks, so layout stopped mattering": both techniques are *call-count*
+/// optimizations, and per-call software cost outlived the disk heads —
+/// the layout gain survives on the modern machine and only collapses
+/// when the interface cost is artificially zeroed as well.
+pub fn ext_modern_hardware(scale: f64) -> ExperimentReport {
+    use iosim_apps::btio::{BtClass, BtioConfig};
+    use iosim_apps::fft::FftConfig;
+    let _ = scale;
+
+    #[derive(Clone, Copy)]
+    enum Flavor {
+        Period,
+        Modern,
+        /// Modern with a (hypothetical) near-free I/O software path.
+        ModernFreeCalls,
+    }
+
+    // FFT layout gain under each machine flavour (same logical workload).
+    let fft_gain_on = |flavor: Flavor| -> f64 {
+        let run_one = |optimized: bool| -> f64 {
+            let mut cfg = FftConfig::new(512, 4, optimized);
+            cfg.mem_per_proc = 256 << 10;
+            cfg.io_nodes = 2;
+            let mut mcfg = match flavor {
+                Flavor::Period => {
+                    presets::paragon_small().with_compute_nodes(4).with_io_nodes(2)
+                }
+                _ => presets::modern_cluster()
+                    .with_compute_nodes(4)
+                    .with_io_nodes(2),
+            };
+            if matches!(flavor, Flavor::ModernFreeCalls) {
+                let free = iosim_simkit::time::SimDuration::from_nanos(100);
+                mcfg.unix.read_call = free;
+                mcfg.unix.write_call = free;
+                mcfg.unix.seek = free;
+                mcfg.disk.per_request_overhead = free;
+                mcfg.disk.seek_penalty = free;
+            }
+            run_ranks(mcfg, 4, move |ctx| {
+                let cfg = cfg.clone();
+                Box::pin(async move {
+                    iosim_apps::fft::rank_program_on(ctx, cfg).await;
+                })
+            })
+            .exec_time
+            .as_secs_f64()
+        };
+        run_one(false) / run_one(true)
+    };
+
+    // BTIO collective gain, period vs modern.
+    let btio_gain_on = |modern: bool| -> f64 {
+        let run_one = |optimized: bool| -> f64 {
+            let cfg = BtioConfig {
+                dumps: 5,
+                ..BtioConfig::new(BtClass::Custom(16), 9, optimized)
+            };
+            let mcfg = if modern {
+                presets::modern_cluster().with_compute_nodes(9)
+            } else {
+                presets::sp2().with_compute_nodes(9)
+            };
+            run_ranks(mcfg, 9, move |ctx| {
+                let cfg = cfg.clone();
+                Box::pin(async move {
+                    iosim_apps::btio::rank_program_on(ctx, cfg).await;
+                })
+            })
+            .exec_time
+            .as_secs_f64()
+        };
+        run_one(false) / run_one(true)
+    };
+
+    let fft_1998 = fft_gain_on(Flavor::Period);
+    let fft_2026 = fft_gain_on(Flavor::Modern);
+    let fft_free = fft_gain_on(Flavor::ModernFreeCalls);
+    let btio_1998 = btio_gain_on(false);
+    let btio_2026 = btio_gain_on(true);
+
+    let mut report = ExperimentReport::new(
+        "Extension 6: the 1998 optimizations on a modern (NVMe-class) cluster",
+    );
+    report.push_body(&format!(
+        "{:<22} {:>13} {:>8} {:>18}\n{:<22} {:>12.2}x {:>7.2}x {:>17.2}x\n{:<22} {:>12.2}x {:>7.2}x {:>18}\n",
+        "technique (speedup)", "1990s machine", "modern", "modern, free calls",
+        "file layout (FFT)", fft_1998, fft_2026, fft_free,
+        "collective I/O (BTIO)", btio_1998, btio_2026, "-",
+    ));
+    report.push(Comparison::claim(
+        "collective I/O remains clearly effective on modern hardware",
+        "request counts and per-call software costs outlived the hardware (extension)",
+        btio_2026 > 1.3,
+    ));
+    report.push(Comparison::claim(
+        "the layout optimization also survives — it is a call-count optimization",
+        "per-call software cost, not the seek arm, carries the 1998 advice forward (extension)",
+        fft_2026 > 1.5,
+    ));
+    report.push(Comparison::claim(
+        "zeroing the software path (hypothetical) finally collapses the layout gain",
+        "with free calls and free seeks only bandwidth remains (extension)",
+        fft_free < fft_2026 / 2.0,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::scf11::assert_shape;
+
+    #[test]
+    fn modern_hardware_extension_holds() {
+        let r = ext_modern_hardware(1.0);
+        assert_shape(&r);
+    }
+
+    #[test]
+    fn disk_vs_recompute_crossover_holds() {
+        let r = ext_disk_vs_recompute(0.05);
+        assert_shape(&r);
+    }
+
+    #[test]
+    fn link_contention_extension_holds() {
+        let r = ext_link_contention(1.0);
+        assert_shape(&r);
+    }
+
+    #[test]
+    fn hotspot_extension_holds() {
+        let r = ext_hotspot(0.05);
+        assert_shape(&r);
+    }
+
+    #[test]
+    fn sieve_extension_holds() {
+        let r = ext_sieve_vs_two_phase(1.0);
+        assert_shape(&r);
+    }
+
+    #[test]
+    fn collective_buffer_extension_holds() {
+        let r = ext_collective_buffer(1.0);
+        assert_shape(&r);
+    }
+}

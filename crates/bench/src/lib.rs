@@ -1,0 +1,9 @@
+//! # iosim-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! from the simulation, with shape checks against the paper's claims.
+//! Used by the `repro` binary (full-scale runs, EXPERIMENTS.md) and the
+//! Criterion benches (scaled-down runs, one bench per table/figure).
+
+pub mod experiments;
+pub mod parallel;

@@ -1,0 +1,82 @@
+//! Host-side parallelism for parameter sweeps.
+//!
+//! Every simulation is single-threaded and independent, so sweeps over
+//! machine configurations parallelize across host threads with
+//! `crossbeam::scope`. Results come back in input order.
+
+/// Map `f` over `items` using up to `max_threads` host threads, returning
+/// results in input order.
+pub fn map_parallel<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (chunk_idx, (item_chunk, slot_chunk)) in items
+            .chunks(n.div_ceil(threads))
+            .zip(slots.chunks_mut(n.div_ceil(threads)))
+            .enumerate()
+        {
+            let f = &f;
+            let _ = chunk_idx;
+            scope.spawn(move |_| {
+                for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// A sensible default thread count for sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = map_parallel(items.clone(), 8, |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = map_parallel(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = map_parallel(Vec::<u32>::new(), 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = map_parallel(vec![5], 16, |&x| x);
+        assert_eq!(out, vec![5]);
+    }
+}

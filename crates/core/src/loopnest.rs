@@ -1,0 +1,329 @@
+//! Loop-nest analysis for out-of-core programs (reference \[7\]:
+//! Kandemir, Ramanujam & Choudhary, "Improving the Performance of
+//! Out-of-Core Computations", ICPP 1997).
+//!
+//! The paper's §4.4 notes that file-layout optimizations "can sometimes
+//! be detected by parallelizing compilers": analyze each loop nest's
+//! access pattern at compile time, then choose per-array file layouts and
+//! tile shapes. This module implements that analysis for 2-D arrays with
+//! affine accesses:
+//!
+//! 1. a [`LoopNest`] declares its loops (with trip counts) and its array
+//!    references ([`ArrayRef`]: which loop indexes which dimension);
+//! 2. [`analyze`] derives each reference's fastest-varying dimension and
+//!    weight, feeds the [`crate::advisor`] chooser, and picks a tile
+//!    shape per array under a memory budget;
+//! 3. [`Plan::estimated_calls`] predicts the I/O call count, which tests
+//!    validate against the simulator's actual counts
+//!    ([`crate::ooc::OocArray::block_call_count`]).
+
+use std::collections::HashMap;
+
+use crate::advisor::{choose_layouts, AccessOrder, ArrayAccess};
+use crate::ooc::FileLayout;
+
+/// A 2-D affine array reference inside a nest: `array[loops[row_loop]]
+/// [loops[col_loop]]`.
+#[derive(Clone, Debug)]
+pub struct ArrayRef {
+    /// Array name.
+    pub array: String,
+    /// Index (into the nest's loop list) of the loop driving the row
+    /// subscript.
+    pub row_loop: usize,
+    /// Index of the loop driving the column subscript.
+    pub col_loop: usize,
+}
+
+impl ArrayRef {
+    /// Build a reference.
+    pub fn new(array: impl Into<String>, row_loop: usize, col_loop: usize) -> ArrayRef {
+        ArrayRef {
+            array: array.into(),
+            row_loop,
+            col_loop,
+        }
+    }
+}
+
+/// One loop of a nest, outermost first.
+#[derive(Clone, Copy, Debug)]
+pub struct Loop {
+    /// Trip count.
+    pub trips: u64,
+}
+
+/// A loop nest over 2-D out-of-core arrays.
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    /// Nest label (diagnostics).
+    pub name: String,
+    /// Loops, outermost first.
+    pub loops: Vec<Loop>,
+    /// Array references in the body.
+    pub refs: Vec<ArrayRef>,
+    /// Relative execution weight of the nest (e.g. invocation count).
+    pub weight: f64,
+}
+
+impl LoopNest {
+    /// Build a nest.
+    pub fn new(
+        name: impl Into<String>,
+        trip_counts: &[u64],
+        refs: Vec<ArrayRef>,
+    ) -> LoopNest {
+        LoopNest {
+            name: name.into(),
+            loops: trip_counts.iter().map(|&trips| Loop { trips }).collect(),
+            refs,
+            weight: 1.0,
+        }
+    }
+
+    /// Set the nest weight.
+    pub fn with_weight(mut self, weight: f64) -> LoopNest {
+        self.weight = weight;
+        self
+    }
+
+    /// The innermost loop's index.
+    fn innermost(&self) -> usize {
+        self.loops.len() - 1
+    }
+
+    /// The access order of a reference: which subscript the innermost
+    /// loop varies. References not indexed by the innermost loop at all
+    /// are loop-invariant in it (no fast dimension) and reported as
+    /// `None`.
+    pub fn order_of(&self, r: &ArrayRef) -> Option<AccessOrder> {
+        let inner = self.innermost();
+        if r.row_loop == inner {
+            Some(AccessOrder::RowFastest)
+        } else if r.col_loop == inner {
+            Some(AccessOrder::ColFastest)
+        } else {
+            None
+        }
+    }
+}
+
+/// The analysis result: per-array layout and square-ish tile shape.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Chosen layout per array.
+    pub layouts: HashMap<String, FileLayout>,
+    /// Chosen `(tile_rows, tile_cols)` per array under the memory budget.
+    pub tiles: HashMap<String, (u64, u64)>,
+}
+
+impl Plan {
+    /// Predicted I/O calls to access one `nr × nc` block of `array` under
+    /// the plan's layout: one call per contiguous segment, with
+    /// coalescing when the block spans the contiguous dimension fully
+    /// (mirrors [`crate::ooc::OocArray::block_segments`]).
+    pub fn estimated_calls(
+        &self,
+        array: &str,
+        rows: u64,
+        cols: u64,
+        nr: u64,
+        nc: u64,
+    ) -> u64 {
+        match self.layouts.get(array) {
+            Some(FileLayout::ColMajor) | None => {
+                if nr == rows {
+                    1
+                } else {
+                    nc
+                }
+            }
+            Some(FileLayout::RowMajor) => {
+                if nc == cols {
+                    1
+                } else {
+                    nr
+                }
+            }
+        }
+    }
+}
+
+/// Analyze a program's loop nests over arrays of `rows × cols` elements
+/// of `elem_bytes`, choosing per-array layouts and tiles that fit
+/// `mem_budget` bytes (per array reference kept in memory at once).
+pub fn analyze(
+    nests: &[LoopNest],
+    rows: u64,
+    cols: u64,
+    elem_bytes: u64,
+    mem_budget: u64,
+) -> Plan {
+    // Weighted votes for the conforming layout of each array.
+    let mut votes: Vec<ArrayAccess> = Vec::new();
+    for nest in nests {
+        // Trip-count product of the nest scales its weight.
+        let trips: f64 = nest.loops.iter().map(|l| l.trips as f64).product();
+        for r in &nest.refs {
+            if let Some(order) = nest.order_of(r) {
+                votes.push(ArrayAccess::new(
+                    r.array.clone(),
+                    order,
+                    nest.weight * trips,
+                ));
+            }
+        }
+    }
+    let layouts = choose_layouts(&votes);
+
+    // Tile shapes: make the contiguous dimension full-extent when it
+    // fits, otherwise square-ish within the budget.
+    let elems = (mem_budget / elem_bytes).max(1);
+    let mut tiles = HashMap::new();
+    for (array, layout) in &layouts {
+        let tile = match layout {
+            FileLayout::ColMajor => {
+                if rows <= elems {
+                    (rows, (elems / rows).clamp(1, cols))
+                } else {
+                    (elems.min(rows), 1)
+                }
+            }
+            FileLayout::RowMajor => {
+                if cols <= elems {
+                    ((elems / cols).clamp(1, rows), cols)
+                } else {
+                    (1, elems.min(cols))
+                }
+            }
+        };
+        tiles.insert(array.clone(), tile);
+    }
+    Plan { layouts, tiles }
+}
+
+/// The out-of-core transpose program `B[j][i] = A[i][j]` as loop nests —
+/// the motivating example of both reference \[7\] and the paper's FFT.
+pub fn transpose_program() -> Vec<LoopNest> {
+    // for i in 0..n { for j in 0..n { B[j][i] = A[i][j] } }
+    // Innermost loop j drives A's column subscript and B's row subscript.
+    vec![LoopNest::new(
+        "transpose",
+        &[1, 1],
+        vec![ArrayRef::new("A", 0, 1), ArrayRef::new("B", 1, 0)],
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_gets_mixed_layouts() {
+        let plan = analyze(&transpose_program(), 64, 64, 8, 4096);
+        // A is walked column-fastest (j inner on its column subscript)
+        // → row-major conforms; B row-fastest → col-major conforms.
+        assert_eq!(plan.layouts["A"], FileLayout::RowMajor);
+        assert_eq!(plan.layouts["B"], FileLayout::ColMajor);
+        assert_ne!(plan.layouts["A"], plan.layouts["B"]);
+    }
+
+    #[test]
+    fn column_scan_program_keeps_col_major() {
+        // for j { for i { use A[i][j] } }: i innermost on rows.
+        let nests = vec![LoopNest::new(
+            "colscan",
+            &[8, 8],
+            vec![ArrayRef::new("A", 1, 0)],
+        )];
+        let plan = analyze(&nests, 64, 64, 8, 64 * 8 * 4);
+        assert_eq!(plan.layouts["A"], FileLayout::ColMajor);
+        // Tile: full columns, width from budget (4 columns).
+        assert_eq!(plan.tiles["A"], (64, 4));
+    }
+
+    #[test]
+    fn conflicting_nests_resolve_by_weight() {
+        let nests = vec![
+            LoopNest::new("rowwise", &[4, 4], vec![ArrayRef::new("X", 0, 1)])
+                .with_weight(10.0),
+            LoopNest::new("colwise", &[4, 4], vec![ArrayRef::new("X", 1, 0)])
+                .with_weight(1.0),
+        ];
+        // rowwise: inner loop drives the column subscript → col-fastest →
+        // row-major conforms; it outweighs colwise.
+        let plan = analyze(&nests, 32, 32, 8, 1024);
+        assert_eq!(plan.layouts["X"], FileLayout::RowMajor);
+    }
+
+    #[test]
+    fn loop_invariant_refs_cast_no_vote() {
+        // for i { for j { use A[i][i-ish] } } where neither subscript is
+        // driven by j: modelled as both subscripts on loop 0.
+        let nests = vec![LoopNest::new(
+            "diag",
+            &[4, 4],
+            vec![ArrayRef::new("D", 0, 0)],
+        )];
+        let plan = analyze(&nests, 16, 16, 8, 1024);
+        // No vote → chooser never sees D.
+        assert!(!plan.layouts.contains_key("D"));
+    }
+
+    #[test]
+    fn tiles_respect_the_memory_budget() {
+        let nests = vec![LoopNest::new(
+            "scan",
+            &[2, 2],
+            vec![ArrayRef::new("A", 1, 0)],
+        )];
+        for budget in [256u64, 4096, 1 << 20] {
+            let plan = analyze(&nests, 128, 128, 8, budget);
+            let (tr, tc) = plan.tiles["A"];
+            assert!(tr * tc * 8 <= budget.max(8 * 128), "{tr}x{tc} over budget {budget}");
+            assert!(tr >= 1 && tc >= 1);
+        }
+    }
+
+    #[test]
+    fn estimated_calls_match_the_simulator() {
+        // The estimator must agree with the OocArray's actual segment
+        // count for every tested block shape.
+        use iosim_machine::{presets, Interface, Machine};
+        use iosim_pfs::FileSystem;
+        use iosim_simkit::executor::Sim;
+        use iosim_trace::TraceCollector;
+
+        let plan = analyze(&transpose_program(), 32, 32, 8, 2048);
+        let mut sim = Sim::new();
+        let m = Machine::new(sim.handle(), presets::paragon_small());
+        let fs = FileSystem::new(m, TraceCollector::new());
+        let plan2 = plan.clone();
+        let jh = sim.spawn(async move {
+            for (name, layout) in &plan2.layouts {
+                let arr = crate::ooc::OocArray::create(
+                    &fs,
+                    0,
+                    Interface::UnixStyle,
+                    &format!("ln.{name}"),
+                    32,
+                    32,
+                    *layout,
+                    false,
+                )
+                .await
+                .expect("create");
+                for (nr, nc) in [(32u64, 4u64), (4, 32), (8, 8), (32, 32), (1, 1)] {
+                    let actual = arr.block_call_count(0, 0, nr, nc) as u64;
+                    let predicted = plan2.estimated_calls(name, 32, 32, nr, nc);
+                    assert_eq!(
+                        actual, predicted,
+                        "{name} {layout:?} block {nr}x{nc}"
+                    );
+                }
+            }
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+    }
+}

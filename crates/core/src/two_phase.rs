@@ -1,0 +1,596 @@
+//! Two-phase (collective) I/O, after Thakur et al.'s PASSION runtime
+//! (reference \[10\] of the paper).
+//!
+//! In the unoptimized applications every process issues one I/O call per
+//! non-contiguous chunk it owns — thousands of small seeks and calls. In
+//! two-phase I/O the processes first agree on a **conforming partition**
+//! of the accessed file range (contiguous region per process), exchange
+//! data over the interconnect so that each process holds exactly its
+//! region (phase 1), and then each process performs a *single* large
+//! sequential I/O call (phase 2). The number of I/O calls drops from
+//! "chunks × processes" to "processes", at the cost of an all-to-all
+//! exchange — the trade the paper measures in Sections 4.5–4.6.
+//!
+//! Functional as well as timed: with stored files and real payloads, the
+//! redistribution actually moves the bytes, so tests can assert that the
+//! optimized file is byte-identical to the unoptimized one.
+
+use iosim_msg::{Comm, Payload};
+use iosim_pfs::{FileHandle, FsError};
+
+/// A piece of file data held (for writes) or wanted (for reads) by a rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Piece {
+    /// Absolute file offset.
+    pub offset: u64,
+    /// The data (real bytes or synthetic length).
+    pub payload: Payload,
+}
+
+impl Piece {
+    /// A piece carrying real bytes.
+    pub fn bytes(offset: u64, data: Vec<u8>) -> Piece {
+        Piece {
+            offset,
+            payload: Payload::bytes(data),
+        }
+    }
+
+    /// A timing-only piece.
+    pub fn synthetic(offset: u64, len: u64) -> Piece {
+        Piece {
+            offset,
+            payload: Payload::synthetic(len),
+        }
+    }
+
+    fn end(&self) -> u64 {
+        self.offset + self.payload.len
+    }
+}
+
+/// A byte range in the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Absolute file offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(offset: u64, len: u64) -> Span {
+        Span { offset, len }
+    }
+
+    fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Statistics of one collective operation on this rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TwoPhaseStats {
+    /// Bytes this rank sent during the exchange phase.
+    pub bytes_sent: u64,
+    /// Bytes this rank received during the exchange phase.
+    pub bytes_received: u64,
+    /// I/O calls this rank issued in phase 2.
+    pub io_calls: u64,
+}
+
+/// The conforming partition: rank `r` owns `[lo + r*chunk, lo + (r+1)*chunk)`
+/// clipped to `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+struct Domain {
+    lo: u64,
+    hi: u64,
+    chunk: u64,
+}
+
+impl Domain {
+    fn owner_region(&self, rank: usize) -> Span {
+        let start = (self.lo + rank as u64 * self.chunk).min(self.hi);
+        let end = (start + self.chunk).min(self.hi);
+        Span::new(start, end - start)
+    }
+
+    fn owner_of(&self, offset: u64) -> usize {
+        debug_assert!(offset >= self.lo && offset < self.hi);
+        ((offset - self.lo) / self.chunk) as usize
+    }
+}
+
+/// Agree on the accessed domain across ranks and partition it evenly.
+/// Ranks with nothing to contribute send an empty range (`lo >= hi`),
+/// which is ignored in the aggregation so it cannot skew the domain.
+async fn agree_domain(comm: &Comm, lo: u64, hi: u64) -> Option<Domain> {
+    let mut enc = Vec::with_capacity(16);
+    enc.extend_from_slice(&lo.to_le_bytes());
+    enc.extend_from_slice(&hi.to_le_bytes());
+    let all = comm.allgather(Payload::bytes(enc)).await;
+    let mut g_lo = u64::MAX;
+    let mut g_hi = 0u64;
+    for p in all {
+        let b = p.into_bytes();
+        let l = u64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+        let h = u64::from_le_bytes(b[8..].try_into().expect("8 bytes"));
+        if l < h {
+            g_lo = g_lo.min(l);
+            g_hi = g_hi.max(h);
+        }
+    }
+    if g_lo >= g_hi {
+        return None; // nothing accessed anywhere
+    }
+    let n = comm.size() as u64;
+    let chunk = (g_hi - g_lo).div_ceil(n);
+    Some(Domain {
+        lo: g_lo,
+        hi: g_hi,
+        chunk,
+    })
+}
+
+/// Split `piece` at the domain's region boundaries, yielding
+/// `(owner, piece)` fragments.
+fn route_piece(domain: &Domain, piece: Piece) -> Vec<(usize, Piece)> {
+    let mut out = Vec::new();
+    let mut off = piece.offset;
+    let end = piece.end();
+    let mut consumed = 0u64;
+    while off < end {
+        let owner = domain.owner_of(off);
+        let region_end = domain.owner_region(owner).end();
+        let take = (end - off).min(region_end - off);
+        let payload = match &piece.payload.data {
+            Some(d) => Payload::bytes(d[consumed as usize..(consumed + take) as usize].to_vec()),
+            None => Payload::synthetic(take),
+        };
+        out.push((
+            owner,
+            Piece {
+                offset: off,
+                payload,
+            },
+        ));
+        off += take;
+        consumed += take;
+    }
+    out
+}
+
+/// Serialize a list of pieces into one message payload. Real bytes are
+/// carried when every piece has them; otherwise the payload is synthetic
+/// with exactly the total *data* length (headers are dropped so the
+/// receiver can account volume precisely; they are small next to the
+/// data).
+fn encode_pieces(pieces: &[Piece]) -> Payload {
+    let all_real = pieces.iter().all(|p| p.payload.data.is_some());
+    let header = 8 + 16 * pieces.len() as u64;
+    let data_len: u64 = pieces.iter().map(|p| p.payload.len).sum();
+    if !all_real {
+        return Payload::synthetic(data_len);
+    }
+    let mut out = Vec::with_capacity((header + data_len) as usize);
+    out.extend_from_slice(&(pieces.len() as u64).to_le_bytes());
+    for p in pieces {
+        out.extend_from_slice(&p.offset.to_le_bytes());
+        out.extend_from_slice(&p.payload.len.to_le_bytes());
+    }
+    for p in pieces {
+        out.extend_from_slice(p.payload.data.as_ref().expect("all real"));
+    }
+    Payload::bytes(out)
+}
+
+/// Inverse of [`encode_pieces`] for real payloads; `None` for synthetic.
+fn decode_pieces(payload: Payload) -> Option<Vec<Piece>> {
+    let bytes = payload.data?;
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    let mut metas = Vec::with_capacity(count);
+    let mut pos = 8usize;
+    for _ in 0..count {
+        let off = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
+        let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
+        metas.push((off, len));
+        pos += 16;
+    }
+    let mut out = Vec::with_capacity(count);
+    for (off, len) in metas {
+        out.push(Piece::bytes(off, bytes[pos..pos + len as usize].to_vec()));
+        pos += len as usize;
+    }
+    Some(out)
+}
+
+/// Merge sorted pieces into maximal contiguous runs (offset, len, data?).
+fn merge_runs(mut pieces: Vec<Piece>) -> Vec<Piece> {
+    pieces.sort_by_key(|p| p.offset);
+    let mut out: Vec<Piece> = Vec::new();
+    for p in pieces {
+        match out.last_mut() {
+            Some(last) if last.end() == p.offset => {
+                last.payload.len += p.payload.len;
+                if let (Some(buf), Some(d)) = (&mut last.payload.data, &p.payload.data) {
+                    buf.extend_from_slice(d);
+                } else {
+                    last.payload.data = None;
+                }
+            }
+            _ => out.push(p),
+        }
+    }
+    out
+}
+
+/// Collective write: every rank contributes `pieces`; after the exchange,
+/// each rank writes its conforming region with (usually) one large call.
+///
+/// All ranks of `comm` must call this with handles to the **same file**.
+pub async fn write_collective(
+    comm: &Comm,
+    fh: &FileHandle,
+    pieces: Vec<Piece>,
+) -> Result<TwoPhaseStats, FsError> {
+    let (lo, hi) = pieces
+        .iter()
+        .fold((u64::MAX, 0u64), |(l, h), p| (l.min(p.offset), h.max(p.end())));
+    let Some(domain) = agree_domain(comm, lo.min(hi), hi).await else {
+        return Ok(TwoPhaseStats::default());
+    };
+    // Route fragments to owners.
+    let mut per_dest: Vec<Vec<Piece>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    for piece in pieces {
+        for (owner, frag) in route_piece(&domain, piece) {
+            per_dest[owner].push(frag);
+        }
+    }
+    let to_each: Vec<Payload> = per_dest.iter().map(|ps| encode_pieces(ps)).collect();
+    let bytes_sent: u64 = to_each
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| *d != comm.rank())
+        .map(|(_, p)| p.len)
+        .sum();
+    let received = comm.alltoallv(to_each).await;
+    let bytes_received: u64 = received
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| *s != comm.rank())
+        .map(|(_, p)| p.len)
+        .sum();
+
+    // Reassemble this rank's region.
+    let mut mine: Vec<Piece> = Vec::new();
+    let mut synthetic_bytes = 0u64;
+    for p in received {
+        let len = p.len;
+        match decode_pieces(p) {
+            Some(ps) => mine.extend(ps),
+            // Synthetic envelope: carries exactly the data volume.
+            None => synthetic_bytes += len,
+        }
+    }
+    let region = domain.owner_region(comm.rank());
+    let mut io_calls = 0u64;
+    if synthetic_bytes > 0 || mine.iter().any(|p| p.payload.data.is_none()) {
+        // Synthetic path: one sequential call covering the region's share.
+        let len: u64 =
+            mine.iter().map(|p| p.payload.len).sum::<u64>() + synthetic_bytes;
+        if len > 0 {
+            fh.write_discard_at(region.offset, len).await?;
+            io_calls = 1;
+        }
+    } else {
+        for run in merge_runs(mine) {
+            let data = run.payload.data.expect("real path");
+            fh.write_at(run.offset, &data).await?;
+            io_calls += 1;
+        }
+    }
+    Ok(TwoPhaseStats {
+        bytes_sent,
+        bytes_received,
+        io_calls,
+    })
+}
+
+/// Clip a piece to the window `[lo, hi)`, if they intersect.
+fn clip_piece(p: &Piece, lo: u64, hi: u64) -> Option<Piece> {
+    let s = p.offset.max(lo);
+    let e = p.end().min(hi);
+    if s >= e {
+        return None;
+    }
+    let payload = match &p.payload.data {
+        Some(d) => Payload::bytes(
+            d[(s - p.offset) as usize..(e - p.offset) as usize].to_vec(),
+        ),
+        None => Payload::synthetic(e - s),
+    };
+    Some(Piece { offset: s, payload })
+}
+
+/// Bounded-buffer collective write: like [`write_collective`], but no
+/// rank ever buffers more than `buffer_bytes` of its conforming region at
+/// once. The accessed range is processed in rounds of
+/// `ranks × buffer_bytes`; every rank participates in every round (empty
+/// contributions included), so the collectives stay aligned.
+///
+/// This is the PASSION/ROMIO "collective buffer" knob: with a large
+/// buffer it degenerates to one round; tiny buffers trade memory for
+/// extra exchange and write calls.
+pub async fn write_collective_buffered(
+    comm: &Comm,
+    fh: &FileHandle,
+    pieces: Vec<Piece>,
+    buffer_bytes: u64,
+) -> Result<TwoPhaseStats, FsError> {
+    assert!(buffer_bytes > 0, "buffer must be positive");
+    let (lo, hi) = pieces
+        .iter()
+        .fold((u64::MAX, 0u64), |(l, h), p| (l.min(p.offset), h.max(p.end())));
+    let Some(domain) = agree_domain(comm, lo.min(hi), hi).await else {
+        return Ok(TwoPhaseStats::default());
+    };
+    let window = buffer_bytes * comm.size() as u64;
+    let rounds = (domain.hi - domain.lo).div_ceil(window);
+    let mut total = TwoPhaseStats::default();
+    for r in 0..rounds {
+        let w_lo = domain.lo + r * window;
+        let w_hi = (w_lo + window).min(domain.hi);
+        let subset: Vec<Piece> = pieces
+            .iter()
+            .filter_map(|p| clip_piece(p, w_lo, w_hi))
+            .collect();
+        let st = write_collective(comm, fh, subset).await?;
+        total.bytes_sent += st.bytes_sent;
+        total.bytes_received += st.bytes_received;
+        total.io_calls += st.io_calls;
+    }
+    Ok(total)
+}
+
+/// Collective read: every rank asks for `wants` spans; owners read their
+/// conforming regions with one large call each and ship fragments back.
+/// Returns one payload per requested span (real bytes iff the file is
+/// stored).
+pub async fn read_collective(
+    comm: &Comm,
+    fh: &FileHandle,
+    wants: Vec<Span>,
+) -> Result<(Vec<Payload>, TwoPhaseStats), FsError> {
+    let (lo, hi) = wants
+        .iter()
+        .fold((u64::MAX, 0u64), |(l, h), s| (l.min(s.offset), h.max(s.end())));
+    let Some(domain) = agree_domain(comm, lo.min(hi), hi).await else {
+        return Ok((Vec::new(), TwoPhaseStats::default()));
+    };
+
+    // Tell each owner which sub-spans we need from its region.
+    let mut requests: Vec<Vec<Span>> = (0..comm.size()).map(|_| Vec::new()).collect();
+    for w in &wants {
+        let mut off = w.offset;
+        while off < w.end() {
+            let owner = domain.owner_of(off);
+            let region_end = domain.owner_region(owner).end();
+            let take = (w.end() - off).min(region_end - off);
+            requests[owner].push(Span::new(off, take));
+            off += take;
+        }
+    }
+    let encoded: Vec<Payload> = requests
+        .iter()
+        .map(|spans| {
+            let mut b = Vec::with_capacity(8 + spans.len() * 16);
+            b.extend_from_slice(&(spans.len() as u64).to_le_bytes());
+            for s in spans {
+                b.extend_from_slice(&s.offset.to_le_bytes());
+                b.extend_from_slice(&s.len.to_le_bytes());
+            }
+            Payload::bytes(b)
+        })
+        .collect();
+    let incoming = comm.alltoallv(encoded).await;
+
+    // Phase 2 (owner side): read the merged extent of requested sub-spans
+    // within my region — one sequential call — then ship fragments back.
+    let mut asked: Vec<Vec<Span>> = Vec::with_capacity(comm.size());
+    for p in incoming {
+        let b = p.into_bytes();
+        let count = u64::from_le_bytes(b[..8].try_into().expect("8")) as usize;
+        let mut spans = Vec::with_capacity(count);
+        for i in 0..count {
+            let pos = 8 + i * 16;
+            spans.push(Span::new(
+                u64::from_le_bytes(b[pos..pos + 8].try_into().expect("8")),
+                u64::from_le_bytes(b[pos + 8..pos + 16].try_into().expect("8")),
+            ));
+        }
+        asked.push(spans);
+    }
+    let ext_lo = asked
+        .iter()
+        .flatten()
+        .map(|s| s.offset)
+        .min()
+        .unwrap_or(u64::MAX);
+    let ext_hi = asked.iter().flatten().map(|s| s.end()).max().unwrap_or(0);
+    let mut io_calls = 0u64;
+    let region_data: Option<Vec<u8>> = if ext_lo < ext_hi {
+        io_calls = 1;
+        match fh.read_at(ext_lo, ext_hi - ext_lo).await {
+            Ok(d) => Some(d),
+            Err(FsError::NotStored(_)) => {
+                fh.read_discard_at(ext_lo, ext_hi - ext_lo).await?;
+                None
+            }
+            Err(e) => return Err(e),
+        }
+    } else {
+        None
+    };
+
+    // Ship back: per requester, one message of its fragments.
+    let replies: Vec<Payload> = asked
+        .iter()
+        .map(|spans| {
+            let pieces: Vec<Piece> = spans
+                .iter()
+                .map(|s| match &region_data {
+                    Some(d) => Piece::bytes(
+                        s.offset,
+                        d[(s.offset - ext_lo) as usize..(s.end() - ext_lo) as usize].to_vec(),
+                    ),
+                    None => Piece::synthetic(s.offset, s.len),
+                })
+                .collect();
+            encode_pieces(&pieces)
+        })
+        .collect();
+    let bytes_sent: u64 = replies
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| *d != comm.rank())
+        .map(|(_, p)| p.len)
+        .sum();
+    let got = comm.alltoallv(replies).await;
+    let bytes_received: u64 = got
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| *s != comm.rank())
+        .map(|(_, p)| p.len)
+        .sum();
+
+    // Reassemble the answers per requested span.
+    let mut frags: Vec<Piece> = Vec::new();
+    let mut any_synthetic = false;
+    for p in got {
+        match decode_pieces(p) {
+            Some(ps) => frags.extend(ps),
+            None => any_synthetic = true,
+        }
+    }
+    let out: Vec<Payload> = wants
+        .iter()
+        .map(|w| {
+            if any_synthetic {
+                return Payload::synthetic(w.len);
+            }
+            let mut buf = vec![0u8; w.len as usize];
+            for f in &frags {
+                let s = f.offset.max(w.offset);
+                let e = f.end().min(w.end());
+                if s < e {
+                    let d = f.payload.data.as_ref().expect("real path");
+                    buf[(s - w.offset) as usize..(e - w.offset) as usize]
+                        .copy_from_slice(&d[(s - f.offset) as usize..(e - f.offset) as usize]);
+                }
+            }
+            Payload::bytes(buf)
+        })
+        .collect();
+    Ok((
+        out,
+        TwoPhaseStats {
+            bytes_sent,
+            bytes_received,
+            io_calls,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_runs_coalesces_adjacent() {
+        let runs = merge_runs(vec![
+            Piece::bytes(10, vec![1, 2]),
+            Piece::bytes(0, vec![9; 10]),
+            Piece::bytes(12, vec![3]),
+        ]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].offset, 0);
+        assert_eq!(runs[0].payload.len, 13);
+        let d = runs[0].payload.data.as_ref().unwrap();
+        assert_eq!(&d[10..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_runs_keeps_gaps_apart() {
+        let runs = merge_runs(vec![
+            Piece::synthetic(0, 5),
+            Piece::synthetic(10, 5),
+        ]);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let pieces = vec![Piece::bytes(3, vec![7, 8]), Piece::bytes(100, vec![9])];
+        let p = encode_pieces(&pieces);
+        let back = decode_pieces(p).unwrap();
+        assert_eq!(back, pieces);
+    }
+
+    #[test]
+    fn encode_synthetic_preserves_data_length() {
+        let pieces = vec![Piece::synthetic(0, 1000), Piece::synthetic(2000, 500)];
+        let p = encode_pieces(&pieces);
+        assert!(p.data.is_none());
+        assert_eq!(p.len, 1500);
+    }
+
+    #[test]
+    fn route_piece_splits_on_region_boundary() {
+        let d = Domain {
+            lo: 0,
+            hi: 100,
+            chunk: 25,
+        };
+        let frags = route_piece(&d, Piece::bytes(20, (0..20u8).collect()));
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].0, 0);
+        assert_eq!(frags[0].1.offset, 20);
+        assert_eq!(frags[0].1.payload.len, 5);
+        assert_eq!(frags[1].0, 1);
+        assert_eq!(frags[1].1.offset, 25);
+        assert_eq!(frags[1].1.payload.len, 15);
+        assert_eq!(frags[1].1.payload.data.as_ref().unwrap()[0], 5);
+    }
+
+    #[test]
+    fn clip_piece_slices_data_correctly() {
+        let p = Piece::bytes(100, (0..50u8).collect());
+        assert_eq!(clip_piece(&p, 0, 100), None);
+        assert_eq!(clip_piece(&p, 150, 200), None);
+        let c = clip_piece(&p, 110, 130).expect("intersects");
+        assert_eq!(c.offset, 110);
+        assert_eq!(c.payload.data.as_ref().unwrap().as_slice(), &(10..30u8).collect::<Vec<u8>>()[..]);
+        // Synthetic clipping preserves length only.
+        let s = Piece::synthetic(0, 100);
+        let cs = clip_piece(&s, 90, 500).expect("intersects");
+        assert_eq!(cs.payload.len, 10);
+        assert!(cs.payload.data.is_none());
+    }
+
+    #[test]
+    fn owner_regions_tile_the_domain() {
+        let d = Domain {
+            lo: 10,
+            hi: 107,
+            chunk: 25,
+        };
+        let mut cursor = 10;
+        for r in 0..4 {
+            let region = d.owner_region(r);
+            assert_eq!(region.offset, cursor);
+            cursor = region.end();
+        }
+        assert_eq!(cursor, 107);
+    }
+}

@@ -1,0 +1,373 @@
+//! Machine configuration: hardware and system-software cost parameters.
+//!
+//! All timing constants of the simulation live here, so a "machine" is a
+//! plain value that experiments can sweep (number of I/O nodes, stripe
+//! unit, interface costs). The presets in [`crate::presets`] pin these
+//! constants against the paper's measured tables (see DESIGN.md §5).
+
+use iosim_simkit::time::SimDuration;
+
+/// 2-D mesh dimensions (Paragon-style compute partition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshDims {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl MeshDims {
+    /// Total nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Compute-node processor parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuParams {
+    /// Sustained floating-point rate used to convert FLOP counts to time.
+    pub effective_mflops: f64,
+    /// Memory-copy bandwidth, bytes/second (prefetch buffers are copied
+    /// into application buffers; the paper counts this copy time as I/O).
+    pub copy_bandwidth_bps: f64,
+}
+
+impl CpuParams {
+    /// Time to copy `bytes` in memory.
+    pub fn copy_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.copy_bandwidth_bps)
+    }
+}
+
+/// Disk and I/O-node service parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskParams {
+    /// Fixed per-request service overhead at the I/O node (controller +
+    /// file-system server CPU).
+    pub per_request_overhead: SimDuration,
+    /// Penalty charged when a request's node-local offset is discontiguous
+    /// with the previous access to the same file on that I/O node.
+    pub seek_penalty: SimDuration,
+    /// Sustained transfer bandwidth of one disk, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl DiskParams {
+    /// Pure transfer time for `bytes` on one disk.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Service time for one request: overhead, optional seek, transfer.
+    pub fn service_time(&self, bytes: u64, seek: bool) -> SimDuration {
+        let mut t = self.per_request_overhead + self.transfer_time(bytes);
+        if seek {
+            t += self.seek_penalty;
+        }
+        t
+    }
+}
+
+/// Interconnection network parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetParams {
+    /// Software latency of a message (send + receive overhead).
+    pub base_latency: SimDuration,
+    /// Additional latency per mesh hop.
+    pub per_hop_latency: SimDuration,
+    /// Link / NIC bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Model contention on the mesh links: each message books bandwidth
+    /// on every link of its XY route, so bisection-heavy exchanges (e.g.
+    /// the two-phase all-to-all) slow down under load. Off by default —
+    /// the paper-calibrated presets account for contention in the NIC
+    /// serialization only.
+    pub link_contention: bool,
+}
+
+impl NetParams {
+    /// Transfer time of `bytes` over `hops` mesh hops (wormhole-routed:
+    /// latency grows with distance, bandwidth does not).
+    pub fn transfer_time(&self, bytes: u64, hops: u32) -> SimDuration {
+        self.base_latency
+            + self.per_hop_latency * hops as u64
+            + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+}
+
+/// Per-call client-side costs of a file-system interface.
+///
+/// These model the software path from the application to the parallel file
+/// system: Fortran record I/O is the slowest, the UNIX-style interface is
+/// cheaper, and the PASSION direct interface is the cheapest. Calibrated
+/// against Tables 2–3 of the paper (per-op time = count / cumulative time).
+#[derive(Clone, Copy, Debug)]
+pub struct InterfaceCosts {
+    /// Cost of `open`.
+    pub open: SimDuration,
+    /// Cost of `close`.
+    pub close: SimDuration,
+    /// Per-call overhead of a read, excluding service at the I/O nodes.
+    pub read_call: SimDuration,
+    /// Per-call overhead of a write, excluding service at the I/O nodes.
+    pub write_call: SimDuration,
+    /// Cost of an explicit seek (file-pointer reposition; metadata only).
+    pub seek: SimDuration,
+    /// Cost of a flush.
+    pub flush: SimDuration,
+}
+
+/// The three client interfaces evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interface {
+    /// Fortran record-oriented I/O over the parallel file system
+    /// (the "original version" of SCF 1.1).
+    Fortran,
+    /// UNIX-style read/write/seek (the MPI-IO base interface of BTIO, the
+    /// Chameleon path of AST).
+    UnixStyle,
+    /// The PASSION run-time library's direct interface.
+    Passion,
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Display name (e.g. "Intel Paragon (large)").
+    pub name: String,
+    /// Number of compute nodes available.
+    pub compute_nodes: usize,
+    /// Mesh shape; `mesh.nodes() >= compute_nodes`.
+    pub mesh: MeshDims,
+    /// Processor parameters.
+    pub cpu: CpuParams,
+    /// Memory per compute node, bytes.
+    pub mem_per_node: u64,
+    /// Number of I/O (service) nodes.
+    pub io_nodes: usize,
+    /// Disks attached to each I/O node (parallel servers per node).
+    pub disks_per_io_node: usize,
+    /// Disk/service parameters.
+    pub disk: DiskParams,
+    /// Network parameters.
+    pub net: NetParams,
+    /// Default file-system stripe unit, bytes (PFS: 64 KB, PIOFS: 32 KB).
+    pub default_stripe_unit: u64,
+    /// Fortran interface costs.
+    pub fortran: InterfaceCosts,
+    /// UNIX-style interface costs.
+    pub unix: InterfaceCosts,
+    /// PASSION interface costs.
+    pub passion: InterfaceCosts,
+    /// Per-I/O-node speed factors for failure-injection studies: factor
+    /// 1.0 is nominal, 0.25 is a node serving at quarter speed. Empty
+    /// means all nominal; shorter-than-`io_nodes` vectors pad with 1.0.
+    pub io_node_speed: Vec<f64>,
+    /// Optional detailed disk model (seek curve + rotational latency);
+    /// `None` uses the flat [`DiskParams`] costs the presets are
+    /// calibrated with.
+    pub disk_geometry: Option<crate::disk::DiskGeometry>,
+}
+
+impl MachineConfig {
+    /// Costs for a given interface.
+    pub fn iface(&self, i: Interface) -> InterfaceCosts {
+        match i {
+            Interface::Fortran => self.fortran,
+            Interface::UnixStyle => self.unix,
+            Interface::Passion => self.passion,
+        }
+    }
+
+    /// Builder-style: set the number of compute nodes.
+    pub fn with_compute_nodes(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one compute node");
+        self.compute_nodes = n;
+        self
+    }
+
+    /// Builder-style: set the number of I/O nodes (the paper's key
+    /// architectural-balance knob).
+    pub fn with_io_nodes(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one I/O node");
+        self.io_nodes = n;
+        self
+    }
+
+    /// Builder-style: set the stripe unit.
+    pub fn with_stripe_unit(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "stripe unit must be positive");
+        self.default_stripe_unit = bytes;
+        self
+    }
+
+    /// Builder-style: set per-node memory.
+    pub fn with_mem_per_node(mut self, bytes: u64) -> Self {
+        self.mem_per_node = bytes;
+        self
+    }
+
+    /// Builder-style: degrade I/O node `idx` to `speed` (1.0 = nominal).
+    /// Used for failure-injection / hot-spot experiments.
+    pub fn with_degraded_io_node(mut self, idx: usize, speed: f64) -> Self {
+        assert!(idx < self.io_nodes, "I/O node {idx} out of range");
+        assert!(speed > 0.0, "speed factor must be positive");
+        if self.io_node_speed.len() < self.io_nodes {
+            self.io_node_speed.resize(self.io_nodes, 1.0);
+        }
+        self.io_node_speed[idx] = speed;
+        self
+    }
+
+    /// The speed factor of I/O node `idx` (default 1.0).
+    pub fn io_node_speed_of(&self, idx: usize) -> f64 {
+        self.io_node_speed.get(idx).copied().unwrap_or(1.0)
+    }
+
+    /// Builder-style: switch the disks to the detailed geometric model.
+    pub fn with_disk_geometry(mut self, geometry: crate::disk::DiskGeometry) -> Self {
+        self.disk_geometry = Some(geometry);
+        self
+    }
+
+    /// Aggregate disk bandwidth of the whole I/O subsystem, bytes/second.
+    pub fn aggregate_disk_bandwidth(&self) -> f64 {
+        self.disk.bandwidth_bps * (self.io_nodes * self.disks_per_io_node) as f64
+    }
+
+    /// Validate internal consistency; called by `Machine::new`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.compute_nodes == 0 {
+            return Err("compute_nodes must be positive".into());
+        }
+        if self.mesh.nodes() < self.compute_nodes {
+            return Err(format!(
+                "mesh {}x{} too small for {} compute nodes",
+                self.mesh.rows, self.mesh.cols, self.compute_nodes
+            ));
+        }
+        if self.io_nodes == 0 {
+            return Err("io_nodes must be positive".into());
+        }
+        if self.disks_per_io_node == 0 {
+            return Err("disks_per_io_node must be positive".into());
+        }
+        if self.disk.bandwidth_bps <= 0.0 || self.disk.bandwidth_bps.is_nan() {
+            return Err("disk bandwidth must be positive".into());
+        }
+        if self.net.bandwidth_bps <= 0.0 || self.net.bandwidth_bps.is_nan() {
+            return Err("net bandwidth must be positive".into());
+        }
+        if self.cpu.effective_mflops <= 0.0 || self.cpu.effective_mflops.is_nan() {
+            return Err("cpu rate must be positive".into());
+        }
+        if self.default_stripe_unit == 0 {
+            return Err("stripe unit must be positive".into());
+        }
+        if self.io_node_speed.iter().any(|&s| s <= 0.0 || s.is_nan()) {
+            return Err("I/O-node speed factors must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn disk_service_time_composition() {
+        let d = DiskParams {
+            per_request_overhead: SimDuration::from_millis(1),
+            seek_penalty: SimDuration::from_millis(12),
+            bandwidth_bps: 5.0e6,
+        };
+        let t = d.service_time(5_000_000, false);
+        assert_eq!(t, SimDuration::from_millis(1) + SimDuration::from_secs(1));
+        let t_seek = d.service_time(5_000_000, true);
+        assert_eq!(t_seek, t + SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn net_transfer_scales_with_hops_and_bytes() {
+        let n = NetParams {
+            base_latency: SimDuration::from_micros(50),
+            per_hop_latency: SimDuration::from_micros(1),
+            bandwidth_bps: 80.0e6,
+            link_contention: false,
+        };
+        let t0 = n.transfer_time(0, 0);
+        assert_eq!(t0, SimDuration::from_micros(50));
+        let t = n.transfer_time(80_000_000, 10);
+        assert_eq!(
+            t,
+            SimDuration::from_micros(60) + SimDuration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let m = presets::paragon_large()
+            .with_compute_nodes(64)
+            .with_io_nodes(16)
+            .with_stripe_unit(128 << 10)
+            .with_mem_per_node(256 << 20);
+        assert_eq!(m.compute_nodes, 64);
+        assert_eq!(m.io_nodes, 16);
+        assert_eq!(m.default_stripe_unit, 128 << 10);
+        assert_eq!(m.mem_per_node, 256 << 20);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_oversized_partition() {
+        let mut m = presets::paragon_small();
+        m.compute_nodes = m.mesh.nodes() + 1;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn aggregate_bandwidth_multiplies_out() {
+        let m = presets::sp2();
+        let agg = m.aggregate_disk_bandwidth();
+        assert!(
+            (agg - m.disk.bandwidth_bps * (m.io_nodes * m.disks_per_io_node) as f64).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn degraded_node_builder_and_validation() {
+        let m = presets::paragon_small()
+            .with_io_nodes(4)
+            .with_degraded_io_node(2, 0.25);
+        assert_eq!(m.io_node_speed_of(2), 0.25);
+        assert_eq!(m.io_node_speed_of(0), 1.0);
+        assert_eq!(m.io_node_speed_of(99), 1.0);
+        assert!(m.validate().is_ok());
+        let mut bad = m;
+        bad.io_node_speed[1] = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degrading_missing_node_panics() {
+        let _ = presets::paragon_small()
+            .with_io_nodes(2)
+            .with_degraded_io_node(5, 0.5);
+    }
+
+    #[test]
+    fn iface_returns_matching_costs() {
+        let m = presets::paragon_large();
+        assert_eq!(
+            m.iface(Interface::Fortran).read_call,
+            m.fortran.read_call
+        );
+        assert_eq!(m.iface(Interface::Passion).seek, m.passion.seek);
+        assert!(m.fortran.read_call > m.passion.read_call);
+    }
+}

@@ -1,0 +1,100 @@
+//! Byte packing helpers for typed payloads.
+//!
+//! The applications move arrays of `f64`; these helpers pack and unpack
+//! them to the byte payloads the message layer carries, little-endian.
+
+/// Pack a slice of `f64` into bytes (little-endian).
+///
+/// ```
+/// use iosim_msg::codec::{pack_f64, unpack_f64};
+/// let v = vec![1.5, -2.0];
+/// assert_eq!(unpack_f64(&pack_f64(&v)), v);
+/// ```
+pub fn pack_f64(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack bytes into `f64`s.
+///
+/// # Panics
+/// Panics if the byte length is not a multiple of 8.
+pub fn unpack_f64(bytes: &[u8]) -> Vec<f64> {
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte length {} not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Pack a slice of `u64` into bytes (little-endian).
+pub fn pack_u64(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack bytes into `u64`s.
+///
+/// # Panics
+/// Panics if the byte length is not a multiple of 8.
+pub fn unpack_u64(bytes: &[u8]) -> Vec<u64> {
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte length {} not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f64_roundtrip_simple() {
+        let v = vec![0.0, 1.5, -2.25, f64::MAX];
+        assert_eq!(unpack_f64(&pack_f64(&v)), v);
+    }
+
+    #[test]
+    fn u64_roundtrip_simple() {
+        let v = vec![0, 1, u64::MAX];
+        assert_eq!(unpack_u64(&pack_u64(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn unpack_rejects_ragged_lengths() {
+        unpack_f64(&[1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn f64_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..100)) {
+            let back = unpack_f64(&pack_f64(&v));
+            prop_assert_eq!(back.len(), v.len());
+            for (a, b) in back.iter().zip(&v) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+
+        #[test]
+        fn u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..100)) {
+            prop_assert_eq!(unpack_u64(&pack_u64(&v)), v);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Tree-structured collective algorithms.
+//!
+//! The linear collectives in [`crate::collective`] cost `O(P)` message
+//! steps at the root. These variants use the classical logarithmic
+//! schedules — binomial trees for broadcast and reduce, recursive
+//! doubling for barrier — which matter once the paper's larger partitions
+//! (64–256 compute nodes) synchronize frequently. Both implementations
+//! share the tag discipline, so programs can mix them freely as long as
+//! every rank picks the same algorithm per call site.
+
+use crate::comm::{Comm, MatchSrc, Payload};
+
+/// Number of rounds in a binomial schedule over `n` ranks.
+fn rounds(n: usize) -> u32 {
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+impl Comm {
+    /// Binomial-tree broadcast from `root`: `⌈log₂ P⌉` rounds instead of
+    /// `P − 1` root sends.
+    pub async fn bcast_tree(&self, root: usize, payload: Option<Payload>) -> Payload {
+        let n = self.size();
+        let t = self.next_coll_tag();
+        if n == 1 {
+            return payload.expect("root must supply the broadcast payload");
+        }
+        // Rotate ranks so the root is virtual rank 0.
+        let me = (self.rank() + n - root) % n;
+        let mut have: Option<Payload> = if self.rank() == root {
+            Some(payload.expect("root must supply the broadcast payload"))
+        } else {
+            None
+        };
+        let k = rounds(n);
+        for r in 0..k {
+            let bit = 1usize << r;
+            if me < bit {
+                // I already have the data: send to my partner this round.
+                let partner = me + bit;
+                if partner < n {
+                    let dst = (partner + root) % n;
+                    self.send(dst, t, have.clone().expect("holder has data"))
+                        .await;
+                }
+            } else if me < bit << 1 {
+                // I receive this round.
+                let partner = me - bit;
+                let src = (partner + root) % n;
+                let (_, p) = self.recv(MatchSrc::Rank(src), t).await;
+                have = Some(p);
+            }
+        }
+        have.expect("every rank is reached in ⌈log₂ P⌉ rounds")
+    }
+
+    /// Binomial-tree sum-reduction to `root`; returns `Some(total)` at the
+    /// root, `None` elsewhere.
+    pub async fn reduce_sum_tree(&self, root: usize, value: f64) -> Option<f64> {
+        let n = self.size();
+        let t = self.next_coll_tag();
+        if n == 1 {
+            return Some(value);
+        }
+        let me = (self.rank() + n - root) % n;
+        let mut acc = value;
+        let k = rounds(n);
+        for r in 0..k {
+            let bit = 1usize << r;
+            if me & (bit - 1) != 0 {
+                continue; // already sent in an earlier round
+            }
+            if me & bit != 0 {
+                // Send my partial to the partner and go quiet.
+                let partner = me - bit;
+                let dst = (partner + root) % n;
+                self.send(dst, t, Payload::bytes(acc.to_le_bytes().to_vec()))
+                    .await;
+                break;
+            } else if me + bit < n {
+                let src = ((me + bit) + root) % n;
+                let (_, p) = self.recv(MatchSrc::Rank(src), t).await;
+                acc += f64::from_le_bytes(
+                    p.into_bytes().try_into().expect("8-byte partial"),
+                );
+            }
+        }
+        (self.rank() == root).then_some(acc)
+    }
+
+    /// Logarithmic barrier: tree reduce + tree broadcast of a token.
+    pub async fn barrier_tree(&self) {
+        let _ = self.reduce_sum_tree(0, 0.0).await;
+        let token = (self.rank() == 0).then(Payload::empty);
+        let _ = self.bcast_tree(0, token).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+    use iosim_machine::{presets, Machine};
+    use iosim_simkit::executor::{join_all, Sim};
+    use iosim_simkit::time::SimDuration;
+
+    fn run_ranks<T: 'static, F, Fut>(n: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> Fut,
+        Fut: std::future::Future<Output = T> + 'static,
+    {
+        let mut sim = Sim::new();
+        let m = Machine::new(sim.handle(), presets::paragon_large());
+        let w = World::new(m, n);
+        let h = sim.handle();
+        let futs: Vec<_> = w.comms().into_iter().map(&f).collect();
+        let jh = sim.spawn(async move { join_all(&h, futs).await });
+        sim.run();
+        jh.try_take().expect("all ranks completed")
+    }
+
+    #[test]
+    fn tree_bcast_reaches_every_rank() {
+        for n in [1usize, 2, 3, 5, 8, 13, 32] {
+            for root in [0usize, n / 2, n - 1] {
+                let vals = run_ranks(n, move |c| async move {
+                    let p = (c.rank() == root)
+                        .then(|| Payload::bytes(vec![7, root as u8]));
+                    c.bcast_tree(root, p).await.into_bytes()
+                });
+                for v in vals {
+                    assert_eq!(v, vec![7, root as u8], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_sums_exactly() {
+        for n in [1usize, 2, 6, 16, 31] {
+            let outs = run_ranks(n, move |c| async move {
+                c.reduce_sum_tree(0, (c.rank() + 1) as f64).await
+            });
+            let want: f64 = (n * (n + 1) / 2) as f64;
+            assert_eq!(outs[0], Some(want), "n={n}");
+            assert!(outs[1..].iter().all(|o| o.is_none()));
+        }
+    }
+
+    #[test]
+    fn tree_barrier_synchronizes() {
+        let times = run_ranks(9, |c| async move {
+            let h = c.machine().handle().clone();
+            h.sleep(SimDuration::from_millis(10 * (c.rank() as u64 + 1)))
+                .await;
+            c.barrier_tree().await;
+            h.now()
+        });
+        // Every rank resumes after the slowest arrival (90 ms); resume
+        // instants differ only by the broadcast fan-out latency.
+        let earliest = *times.iter().min().unwrap();
+        let latest = *times.iter().max().unwrap();
+        assert!(earliest >= iosim_simkit::time::SimTime(90_000_000));
+        assert!(latest.since(earliest) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn tree_bcast_scales_logarithmically() {
+        // Compare broadcast completion times of the linear and tree
+        // algorithms for a large payload on many ranks.
+        let time_with = |tree: bool, n: usize| -> f64 {
+            let outs = run_ranks(n, move |c| async move {
+                let h = c.machine().handle().clone();
+                let p = (c.rank() == 0).then(|| Payload::synthetic(4 << 20));
+                if tree {
+                    c.bcast_tree(0, p).await;
+                } else {
+                    c.bcast(0, p).await;
+                }
+                h.now().as_secs_f64()
+            });
+            outs.into_iter().fold(0.0, f64::max)
+        };
+        let linear = time_with(false, 64);
+        let tree = time_with(true, 64);
+        assert!(
+            tree < linear / 3.0,
+            "binomial bcast should be much faster at P=64: {tree} vs {linear}"
+        );
+    }
+
+    #[test]
+    fn tree_and_linear_collectives_compose() {
+        // Mixing algorithms across call sites must keep tags aligned.
+        let vals = run_ranks(5, |c| async move {
+            c.barrier_tree().await;
+            let a = c
+                .bcast(1, (c.rank() == 1).then(|| Payload::bytes(vec![1])))
+                .await;
+            let b = c
+                .bcast_tree(2, (c.rank() == 2).then(|| Payload::bytes(vec![2])))
+                .await;
+            c.barrier().await;
+            (a.into_bytes()[0], b.into_bytes()[0])
+        });
+        assert!(vals.iter().all(|&(a, b)| a == 1 && b == 2));
+    }
+}

@@ -1,0 +1,963 @@
+//! The parallel file system: files, open handles, and the timed data path.
+//!
+//! A [`FileSystem`] binds a [`Machine`] and a [`TraceCollector`]. Every
+//! operation on a [`FileHandle`] charges the client-side interface cost,
+//! decomposes the byte range into per-I/O-node runs
+//! ([`crate::layout::Striping::runs`]), books each run on the owning I/O
+//! node's FIFO disk queue (with a seek penalty when the node-local offset
+//! is discontiguous with that node's previous access), and completes when
+//! the last run's response returns over the network. The whole operation
+//! is recorded with the trace collector, which yields the paper's
+//! Tables 2–3 directly.
+//!
+//! Files either **store real bytes** (so correctness of optimized I/O
+//! paths can be asserted byte-for-byte) or are **synthetic** (timing only,
+//! for the multi-gigabyte SCF workloads).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use iosim_machine::{Interface, Machine};
+use iosim_simkit::time::SimTime;
+use iosim_trace::{OpKind, TraceCollector};
+
+use crate::layout::Striping;
+
+/// Hard cap on stored-file size; synthetic files have no cap. Guards
+/// against accidentally materializing a paper-scale (37 GB) workload.
+pub const STORED_FILE_CAP: u64 = 512 << 20;
+
+/// Errors surfaced by file operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Open of a non-existent file without create.
+    NotFound(String),
+    /// Create of an already existing file.
+    Exists(String),
+    /// Read past end of file.
+    PastEof {
+        /// File name.
+        name: String,
+        /// Requested end offset.
+        wanted: u64,
+        /// Current size.
+        size: u64,
+    },
+    /// Byte-returning read on a synthetic file.
+    NotStored(String),
+    /// A stored file would exceed [`STORED_FILE_CAP`].
+    TooLarge(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(n) => write!(f, "file not found: {n}"),
+            FsError::Exists(n) => write!(f, "file exists: {n}"),
+            FsError::PastEof { name, wanted, size } => {
+                write!(f, "read past EOF on {name}: wanted {wanted}, size {size}")
+            }
+            FsError::NotStored(n) => write!(f, "file {n} is synthetic (no bytes)"),
+            FsError::TooLarge(n) => write!(f, "stored file {n} would exceed cap"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Whether a file holds real bytes or only timing metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Content {
+    /// Real bytes, for functional verification.
+    Stored(Vec<u8>),
+    /// Timing-only: size tracked, no data.
+    Synthetic,
+}
+
+struct FileState {
+    uid: u64,
+    name: String,
+    size: u64,
+    striping: Striping,
+    /// First machine I/O node of this file's stripe group; the striping's
+    /// node indices are relative to it (modulo the machine's I/O nodes).
+    node_base: usize,
+    content: Content,
+}
+
+struct FsInner {
+    files: HashMap<String, Rc<RefCell<FileState>>>,
+    /// Per-I/O-node head position: (file uid, local end offset) of the
+    /// last access. A new request seeks unless it continues exactly where
+    /// the same file's previous run on that node ended. With several
+    /// disks per I/O node this is an approximation (one shared head).
+    disk_pos: Vec<Option<(u64, u64)>>,
+    next_uid: u64,
+}
+
+/// Options for creating a file.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct CreateOptions {
+    /// Keep real bytes (subject to [`STORED_FILE_CAP`]).
+    pub stored: bool,
+    /// Override the stripe unit (defaults to the machine's).
+    pub stripe_unit: Option<u64>,
+    /// Override the I/O node holding stripe 0 (defaults to round-robin by
+    /// file id, like PFS).
+    pub start_node: Option<usize>,
+    /// Stripe over only this many I/O nodes (clamped to the machine's;
+    /// defaults to all — PFS's default stripe attributes).
+    pub stripe_factor: Option<usize>,
+}
+
+
+/// The parallel file system bound to one machine.
+pub struct FileSystem {
+    machine: Rc<Machine>,
+    trace: TraceCollector,
+    inner: RefCell<FsInner>,
+}
+
+impl FileSystem {
+    /// Create a file system over `machine`, recording into `trace`.
+    pub fn new(machine: Rc<Machine>, trace: TraceCollector) -> Rc<FileSystem> {
+        let io_nodes = machine.io_nodes();
+        Rc::new(FileSystem {
+            machine,
+            trace,
+            inner: RefCell::new(FsInner {
+                files: HashMap::new(),
+                disk_pos: vec![None; io_nodes],
+                next_uid: 0,
+            }),
+        })
+    }
+
+    /// The machine this file system runs on.
+    pub fn machine(&self) -> &Rc<Machine> {
+        &self.machine
+    }
+
+    /// The trace collector.
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
+    }
+
+    /// Create a file (no I/O cost; creation cost is charged by `open`).
+    pub fn create(
+        self: &Rc<Self>,
+        name: &str,
+        opts: CreateOptions,
+    ) -> Result<(), FsError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.files.contains_key(name) {
+            return Err(FsError::Exists(name.into()));
+        }
+        let uid = inner.next_uid;
+        inner.next_uid += 1;
+        let io_nodes = self.machine.io_nodes();
+        let factor = opts
+            .stripe_factor
+            .unwrap_or(io_nodes)
+            .clamp(1, io_nodes);
+        let striping = Striping::new(
+            opts.stripe_unit
+                .unwrap_or(self.machine.cfg().default_stripe_unit),
+            factor,
+            opts.start_node.unwrap_or((uid as usize) % factor),
+        );
+        // Files striped over a subset of the I/O nodes spread their stripe
+        // groups round-robin across the machine.
+        let node_base = if factor == io_nodes {
+            0
+        } else {
+            (uid as usize) % io_nodes
+        };
+        let content = if opts.stored {
+            Content::Stored(Vec::new())
+        } else {
+            Content::Synthetic
+        };
+        inner.files.insert(
+            name.to_string(),
+            Rc::new(RefCell::new(FileState {
+                uid,
+                name: name.to_string(),
+                size: 0,
+                striping,
+                node_base,
+                content,
+            })),
+        );
+        Ok(())
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.borrow().files.contains_key(name)
+    }
+
+    /// Current size of a file.
+    pub fn size_of(&self, name: &str) -> Result<u64, FsError> {
+        self.inner
+            .borrow()
+            .files
+            .get(name)
+            .map(|f| f.borrow().size)
+            .ok_or_else(|| FsError::NotFound(name.into()))
+    }
+
+    /// Remove a file (metadata operation, not timed).
+    pub fn remove(&self, name: &str) -> Result<(), FsError> {
+        self.inner
+            .borrow_mut()
+            .files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| FsError::NotFound(name.into()))
+    }
+
+    /// Open `name` with interface `iface` on behalf of compute `rank`,
+    /// charging the interface's open cost. Creates the file with `opts`
+    /// if it does not exist and `opts` is `Some`.
+    pub async fn open(
+        self: &Rc<Self>,
+        rank: usize,
+        iface: Interface,
+        name: &str,
+        opts: Option<CreateOptions>,
+    ) -> Result<FileHandle, FsError> {
+        if !self.exists(name) {
+            match opts {
+                Some(o) => self.create(name, o)?,
+                None => return Err(FsError::NotFound(name.into())),
+            }
+        }
+        let h = self.machine.handle().clone();
+        let start = h.now();
+        h.sleep(self.machine.cfg().iface(iface).open).await;
+        self.trace.record(rank, OpKind::Open, start, h.now(), 0);
+        let file = Rc::clone(self.inner.borrow().files.get(name).expect("just checked"));
+        Ok(FileHandle {
+            fs: Rc::clone(self),
+            file,
+            rank,
+            iface,
+            pos: Cell::new(0),
+        })
+    }
+
+    /// Book the per-node runs of one data operation and return the
+    /// completion instant. `is_read` controls which direction carries the
+    /// payload over the network. The striping's node indices are relative
+    /// to `node_base` (per-file stripe groups).
+    #[allow(clippy::too_many_arguments)]
+    fn book_runs(
+        &self,
+        rank: usize,
+        striping: Striping,
+        node_base: usize,
+        uid: u64,
+        offset: u64,
+        len: u64,
+        is_read: bool,
+    ) -> SimTime {
+        let h = self.machine.handle();
+        let now = h.now();
+        let cfg = self.machine.cfg();
+        let io_nodes = self.machine.io_nodes();
+        let mut latest = now;
+        let mut inner = self.inner.borrow_mut();
+        for run in striping.runs(offset, len) {
+            let node = (node_base + run.io_node) % io_nodes;
+            let hops = self.machine.topology().io_hops(rank, node);
+            let request_bytes = if is_read { 64 } else { run.bytes };
+            let arrival = now + cfg.net.transfer_time(request_bytes, hops);
+            let pos = &mut inner.disk_pos[node];
+            // Same-file continuations carry the head position; a switch to
+            // another file (or a cold head) is always discontiguous.
+            let prev_end = match *pos {
+                Some((prev_uid, end)) if prev_uid == uid => Some(end),
+                _ => None,
+            };
+            *pos = Some((uid, run.local_offset + run.bytes));
+            let svc = self.machine.disk_service_positioned(
+                node,
+                prev_end,
+                run.local_offset,
+                run.bytes,
+            );
+            let (_, end) = self.machine.io_queue(node).reserve_at(arrival, svc);
+            let response_bytes = if is_read { run.bytes } else { 0 };
+            let done = end + cfg.net.transfer_time(response_bytes, hops);
+            latest = latest.max(done);
+        }
+        latest
+    }
+
+    /// Per-I/O-node busy durations (for balance diagnostics).
+    pub fn io_busy_profile(&self) -> Vec<f64> {
+        (0..self.machine.io_nodes())
+            .map(|i| self.machine.io_queue(i).stats().busy.as_secs_f64())
+            .collect()
+    }
+
+    /// Names of all files, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.borrow().files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Render a utilization report: per-I/O-node request counts, busy
+    /// time, queueing, and the file inventory.
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let now = self.machine.handle().now();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>12} {:>8}",
+            "I/O node", "requests", "busy (s)", "queued (s)", "util"
+        );
+        for i in 0..self.machine.io_nodes() {
+            let q = self.machine.io_queue(i);
+            let st = q.stats();
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>12.3} {:>12.3} {:>7.1}%",
+                i,
+                st.requests,
+                st.busy.as_secs_f64(),
+                st.queued.as_secs_f64(),
+                100.0 * st.utilization(now, q.capacity()),
+            );
+        }
+        let _ = writeln!(out, "files:");
+        for name in self.file_names() {
+            let size = self.size_of(&name).unwrap_or(0);
+            let _ = writeln!(out, "  {name} ({size} bytes)");
+        }
+        out
+    }
+}
+
+/// An open file handle held by one simulated process.
+pub struct FileHandle {
+    fs: Rc<FileSystem>,
+    file: Rc<RefCell<FileState>>,
+    rank: usize,
+    iface: Interface,
+    pos: Cell<u64>,
+}
+
+impl FileHandle {
+    /// The simulation handle of the machine this file lives on.
+    pub fn sim_handle(&self) -> iosim_simkit::executor::SimHandle {
+        self.fs.machine.handle().clone()
+    }
+
+    /// Memory-copy time for `bytes` on this machine's CPU (prefetch buffer
+    /// copies).
+    pub fn copy_time(&self, bytes: u64) -> iosim_simkit::time::SimDuration {
+        self.fs.machine.cfg().cpu.copy_time(bytes)
+    }
+
+    /// Network time to broadcast `bytes` across the compute partition
+    /// (used by the `M_GLOBAL` I/O mode's fan-out leg). Uses a typical
+    /// mesh distance of half the larger mesh dimension.
+    pub fn broadcast_time(&self, bytes: u64) -> iosim_simkit::time::SimDuration {
+        let cfg = self.fs.machine.cfg();
+        let hops = (cfg.mesh.rows.max(cfg.mesh.cols) / 2) as u32;
+        cfg.net.transfer_time(bytes, hops)
+    }
+
+    /// File name.
+    pub fn name(&self) -> String {
+        self.file.borrow().name.clone()
+    }
+
+    /// Current size.
+    pub fn size(&self) -> u64 {
+        self.file.borrow().size
+    }
+
+    /// Current file-pointer position.
+    pub fn pos(&self) -> u64 {
+        self.pos.get()
+    }
+
+    /// The striping of this file.
+    pub fn striping(&self) -> Striping {
+        self.file.borrow().striping
+    }
+
+    /// Explicit seek: repositions the file pointer, charging the
+    /// interface's seek cost and tracing a Seek op (this is the op the
+    /// unoptimized BTIO issues in huge numbers).
+    pub async fn seek(&self, pos: u64) {
+        let h = self.fs.machine.handle().clone();
+        let start = h.now();
+        h.sleep(self.fs.machine.cfg().iface(self.iface).seek).await;
+        self.pos.set(pos);
+        self.fs
+            .trace
+            .record(self.rank, OpKind::Seek, start, h.now(), 0);
+    }
+
+    async fn data_op(&self, kind: OpKind, offset: u64, len: u64) {
+        let h = self.fs.machine.handle().clone();
+        let start = h.now();
+        let costs = self.fs.machine.cfg().iface(self.iface);
+        let call = match kind {
+            OpKind::Read => costs.read_call,
+            OpKind::Write => costs.write_call,
+            _ => unreachable!("data_op is only for read/write"),
+        };
+        h.sleep(call).await;
+        let (striping, node_base, uid) = {
+            let f = self.file.borrow();
+            (f.striping, f.node_base, f.uid)
+        };
+        let done = self.fs.book_runs(
+            self.rank,
+            striping,
+            node_base,
+            uid,
+            offset,
+            len,
+            kind == OpKind::Read,
+        );
+        h.sleep_until(done).await;
+        self.fs.trace.record(self.rank, kind, start, h.now(), len);
+    }
+
+    fn check_read(&self, offset: u64, len: u64) -> Result<(), FsError> {
+        let f = self.file.borrow();
+        if offset + len > f.size {
+            return Err(FsError::PastEof {
+                name: f.name.clone(),
+                wanted: offset + len,
+                size: f.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` (pread-style, no Seek op), returning
+    /// the data. Errors on synthetic files — use
+    /// [`FileHandle::read_discard_at`] for those.
+    pub async fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
+        self.check_read(offset, len)?;
+        {
+            let f = self.file.borrow();
+            if matches!(f.content, Content::Synthetic) {
+                return Err(FsError::NotStored(f.name.clone()));
+            }
+        }
+        self.data_op(OpKind::Read, offset, len).await;
+        let f = self.file.borrow();
+        let Content::Stored(data) = &f.content else {
+            unreachable!("checked above")
+        };
+        Ok(data[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Read `len` bytes at `offset`, discarding data (works on synthetic
+    /// and stored files alike; timing and tracing identical to `read_at`).
+    pub async fn read_discard_at(&self, offset: u64, len: u64) -> Result<(), FsError> {
+        self.check_read(offset, len)?;
+        self.data_op(OpKind::Read, offset, len).await;
+        Ok(())
+    }
+
+    /// Sequential read from the file pointer, advancing it.
+    pub async fn read(&self, len: u64) -> Result<Vec<u8>, FsError> {
+        let off = self.pos.get();
+        let out = self.read_at(off, len).await?;
+        self.pos.set(off + len);
+        Ok(out)
+    }
+
+    /// Sequential discard-read from the file pointer, advancing it.
+    pub async fn read_discard(&self, len: u64) -> Result<(), FsError> {
+        let off = self.pos.get();
+        self.read_discard_at(off, len).await?;
+        self.pos.set(off + len);
+        Ok(())
+    }
+
+    fn store_bytes(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let mut f = self.file.borrow_mut();
+        let end = offset + data.len() as u64;
+        if let Content::Stored(buf) = &mut f.content {
+            if end > STORED_FILE_CAP {
+                return Err(FsError::TooLarge(f.name.clone()));
+            }
+            if buf.len() < end as usize {
+                buf.resize(end as usize, 0);
+            }
+            buf[offset as usize..end as usize].copy_from_slice(data);
+        }
+        f.size = f.size.max(end);
+        Ok(())
+    }
+
+    /// Write `data` at `offset` (pwrite-style). Stores bytes when the file
+    /// is stored; always updates size and timing.
+    pub async fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        self.store_bytes(offset, data)?;
+        self.data_op(OpKind::Write, offset, data.len() as u64).await;
+        Ok(())
+    }
+
+    /// Write `len` synthetic bytes at `offset` (timing only; size grows).
+    pub async fn write_discard_at(&self, offset: u64, len: u64) -> Result<(), FsError> {
+        {
+            let mut f = self.file.borrow_mut();
+            if matches!(f.content, Content::Stored(_)) && offset + len > STORED_FILE_CAP {
+                return Err(FsError::TooLarge(f.name.clone()));
+            }
+            if let Content::Stored(buf) = &mut f.content {
+                let end = (offset + len) as usize;
+                if buf.len() < end {
+                    buf.resize(end, 0);
+                }
+            }
+            f.size = f.size.max(offset + len);
+        }
+        self.data_op(OpKind::Write, offset, len).await;
+        Ok(())
+    }
+
+    /// Sequential write from the file pointer, advancing it.
+    pub async fn write(&self, data: &[u8]) -> Result<(), FsError> {
+        let off = self.pos.get();
+        self.write_at(off, data).await?;
+        self.pos.set(off + data.len() as u64);
+        Ok(())
+    }
+
+    /// Sequential synthetic write from the file pointer, advancing it.
+    pub async fn write_discard(&self, len: u64) -> Result<(), FsError> {
+        let off = self.pos.get();
+        self.write_discard_at(off, len).await?;
+        self.pos.set(off + len);
+        Ok(())
+    }
+
+    /// Grow the file to at least `size` bytes without timed I/O (metadata
+    /// allocation, as PFS `lsize`). Stored files are zero-filled.
+    ///
+    /// # Panics
+    /// Panics if a stored file would exceed [`STORED_FILE_CAP`].
+    pub fn preallocate(&self, size: u64) {
+        let mut f = self.file.borrow_mut();
+        if let Content::Stored(buf) = &mut f.content {
+            assert!(
+                size <= STORED_FILE_CAP,
+                "preallocate of stored file {} beyond cap",
+                f.name
+            );
+            if (buf.len() as u64) < size {
+                buf.resize(size as usize, 0);
+            }
+        }
+        f.size = f.size.max(size);
+    }
+
+    /// Flush buffered data (cost + trace only; the model has no volatile
+    /// write-behind cache).
+    pub async fn flush(&self) {
+        let h = self.fs.machine.handle().clone();
+        let start = h.now();
+        h.sleep(self.fs.machine.cfg().iface(self.iface).flush).await;
+        self.fs
+            .trace
+            .record(self.rank, OpKind::Flush, start, h.now(), 0);
+    }
+
+    /// Close the handle (cost + trace).
+    pub async fn close(self) {
+        let h = self.fs.machine.handle().clone();
+        let start = h.now();
+        h.sleep(self.fs.machine.cfg().iface(self.iface).close).await;
+        self.fs
+            .trace
+            .record(self.rank, OpKind::Close, start, h.now(), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim_machine::presets;
+    use iosim_simkit::executor::Sim;
+    use iosim_simkit::time::SimDuration;
+
+    fn fixture(sim: &Sim) -> (Rc<FileSystem>, TraceCollector) {
+        let trace = TraceCollector::new();
+        let m = Machine::new(sim.handle(), presets::paragon_small());
+        (FileSystem::new(m, trace.clone()), trace)
+    }
+
+    fn stored() -> CreateOptions {
+        CreateOptions {
+            stored: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_bytes() {
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(0, Interface::UnixStyle, "f", Some(stored()))
+                .await
+                .unwrap();
+            let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+            fh.write_at(0, &data).await.unwrap();
+            let back = fh.read_at(0, data.len() as u64).await.unwrap();
+            assert_eq!(back, data);
+            // Partial mid-file read.
+            let mid = fh.read_at(1000, 5000).await.unwrap();
+            assert_eq!(&mid[..], &data[1000..6000]);
+        });
+        sim.run();
+        jh.try_take().expect("task completed");
+    }
+
+    #[test]
+    fn read_past_eof_errors() {
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(0, Interface::UnixStyle, "f", Some(stored()))
+                .await
+                .unwrap();
+            fh.write_at(0, &[1, 2, 3]).await.unwrap();
+            fh.read_at(0, 10).await
+        });
+        sim.run();
+        assert!(matches!(
+            jh.try_take().unwrap(),
+            Err(FsError::PastEof { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_files_track_size_but_not_bytes() {
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(0, Interface::Passion, "syn", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            fh.write_discard_at(0, 1 << 20).await.unwrap();
+            assert_eq!(fh.size(), 1 << 20);
+            fh.read_discard_at(0, 1 << 20).await.unwrap();
+            fh.read_at(0, 16).await
+        });
+        sim.run();
+        assert!(matches!(jh.try_take().unwrap(), Err(FsError::NotStored(_))));
+    }
+
+    #[test]
+    fn ops_are_traced_with_counts_and_volume() {
+        let mut sim = Sim::new();
+        let (fs, trace) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(2, Interface::Fortran, "t", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            fh.write_discard(4096).await.unwrap();
+            fh.seek(0).await;
+            fh.read_discard(4096).await.unwrap();
+            fh.flush().await;
+            fh.close().await;
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        assert_eq!(trace.count(OpKind::Open), 1);
+        assert_eq!(trace.count(OpKind::Write), 1);
+        assert_eq!(trace.count(OpKind::Seek), 1);
+        assert_eq!(trace.count(OpKind::Read), 1);
+        assert_eq!(trace.count(OpKind::Flush), 1);
+        assert_eq!(trace.count(OpKind::Close), 1);
+        assert_eq!(trace.bytes(OpKind::Write), 4096);
+        assert_eq!(trace.bytes(OpKind::Read), 4096);
+        // A Fortran read costs at least the 90 ms call overhead.
+        assert!(trace.time(OpKind::Read) >= SimDuration::from_millis(90));
+    }
+
+    #[test]
+    fn sequential_reads_avoid_seek_penalty() {
+        // Two sequential same-file reads: the second continues each node's
+        // fragment, so only the first pays the seek penalty per node.
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let m = Rc::clone(fs.machine());
+        let jh = sim.spawn(async move {
+            let h = m.handle().clone();
+            let fh = fs
+                .open(0, Interface::Passion, "seq", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            fh.write_discard_at(0, 1 << 20).await.unwrap();
+            let t0 = h.now();
+            fh.read_discard_at(0, 128 << 10).await.unwrap();
+            let first = h.now() - t0;
+            let t1 = h.now();
+            fh.read_discard_at(128 << 10, 128 << 10).await.unwrap();
+            let second = h.now() - t1;
+            (first, second)
+        });
+        sim.run();
+        let (_first, second) = jh.try_take().unwrap();
+        // Second read continues sequentially: no seek penalty anywhere.
+        // Its duration is call overhead + service without seek.
+        let cfg = presets::paragon_small();
+        let per_node = 64 << 10; // 128 KB over 2 I/O nodes
+        let expect = cfg.passion.read_call
+            + cfg.disk.service_time(per_node, false)
+            + SimDuration::from_millis(2); // request + 64 KB response on the mesh
+        assert!(
+            second <= expect,
+            "sequential read paid a seek: {second} > {expect}"
+        );
+    }
+
+    #[test]
+    fn interleaved_files_pay_seeks() {
+        // Alternating reads of two files on the same I/O nodes must pay the
+        // seek penalty on every op, unlike a single sequential stream.
+        let mut sim = Sim::new();
+        let (fs, trace) = fixture(&sim);
+        let trace_in = trace.clone();
+        let jh = sim.spawn(async move {
+            let a = fs
+                .open(0, Interface::Passion, "a", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            let b = fs
+                .open(0, Interface::Passion, "b", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            a.write_discard_at(0, 1 << 20).await.unwrap();
+            b.write_discard_at(0, 1 << 20).await.unwrap();
+            trace_in.reset();
+            for i in 0..4u64 {
+                a.read_discard_at(i * 65536, 65536).await.unwrap();
+                b.read_discard_at(i * 65536, 65536).await.unwrap();
+            }
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        let interleaved = trace.time(OpKind::Read);
+
+        // Same volume, single file, sequential:
+        let mut sim2 = Sim::new();
+        let (fs2, trace2) = fixture(&sim2);
+        let trace2_in = trace2.clone();
+        let jh2 = sim2.spawn(async move {
+            let a = fs2
+                .open(0, Interface::Passion, "a", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            a.write_discard_at(0, 1 << 20).await.unwrap();
+            trace2_in.reset();
+            for i in 0..8u64 {
+                a.read_discard_at(i * 65536, 65536).await.unwrap();
+            }
+        });
+        sim2.run();
+        jh2.try_take().expect("completed");
+        let sequential = trace2.time(OpKind::Read);
+        assert!(
+            interleaved > sequential,
+            "interleaving two files should cost seeks: {interleaved} <= {sequential}"
+        );
+    }
+
+    #[test]
+    fn contention_grows_with_fewer_io_nodes() {
+        // The same aggregate workload takes longer on 1 I/O node than 4.
+        let run_with = |io_nodes: usize| -> f64 {
+            let mut sim = Sim::new();
+            let trace = TraceCollector::new();
+            let m = Machine::new(
+                sim.handle(),
+                presets::paragon_small().with_io_nodes(io_nodes),
+            );
+            let fs = FileSystem::new(m, trace);
+            let h = sim.handle();
+            let futs: Vec<_> = (0..8usize)
+                .map(|rank| {
+                    let fs = Rc::clone(&fs);
+                    async move {
+                        let fh = fs
+                            .open(
+                                rank,
+                                Interface::Passion,
+                                &format!("f{rank}"),
+                                Some(CreateOptions::default()),
+                            )
+                            .await
+                            .unwrap();
+                        fh.write_discard_at(0, 4 << 20).await.unwrap();
+                    }
+                })
+                .collect();
+            let jh = sim.spawn(async move {
+                iosim_simkit::executor::join_all(&h, futs).await;
+            });
+            let end = sim.run();
+            jh.try_take().expect("completed");
+            end.as_secs_f64()
+        };
+        let t1 = run_with(1);
+        let t4 = run_with(4);
+        assert!(
+            t1 > 2.0 * t4,
+            "1 I/O node should be much slower: {t1} vs {t4}"
+        );
+    }
+
+    #[test]
+    fn create_twice_errors_and_remove_works() {
+        let sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        fs.create("x", CreateOptions::default()).unwrap();
+        assert!(matches!(
+            fs.create("x", CreateOptions::default()),
+            Err(FsError::Exists(_))
+        ));
+        assert!(fs.exists("x"));
+        fs.remove("x").unwrap();
+        assert!(!fs.exists("x"));
+        assert!(matches!(fs.remove("x"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn stored_cap_enforced() {
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(0, Interface::UnixStyle, "big", Some(stored()))
+                .await
+                .unwrap();
+            fh.write_discard_at(STORED_FILE_CAP, 1).await
+        });
+        sim.run();
+        assert!(matches!(jh.try_take().unwrap(), Err(FsError::TooLarge(_))));
+    }
+
+    #[test]
+    fn report_lists_nodes_and_files() {
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let fs2 = Rc::clone(&fs);
+        let jh = sim.spawn(async move {
+            let a = fs2
+                .open(0, Interface::Passion, "alpha", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            a.write_discard_at(0, 1 << 20).await.unwrap();
+            fs2.create("beta", CreateOptions::default()).unwrap();
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        assert_eq!(fs.file_names(), vec!["alpha".to_string(), "beta".to_string()]);
+        let report = fs.render_report();
+        assert!(report.contains("I/O node"));
+        assert!(report.contains("alpha (1048576 bytes)"));
+        assert!(report.contains("beta (0 bytes)"));
+    }
+
+    #[test]
+    fn stripe_factor_confines_a_file_to_a_node_subset() {
+        // A file striped over 1 of 4 I/O nodes leaves the other queues
+        // untouched.
+        let mut sim = Sim::new();
+        let trace = TraceCollector::new();
+        let m = Machine::new(
+            sim.handle(),
+            presets::paragon_small().with_io_nodes(4),
+        );
+        let m2 = Rc::clone(&m);
+        let fs = FileSystem::new(m, trace);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(
+                    0,
+                    Interface::Passion,
+                    "narrow",
+                    Some(CreateOptions {
+                        stripe_factor: Some(1),
+                        ..Default::default()
+                    }),
+                )
+                .await
+                .unwrap();
+            fh.write_discard_at(0, 1 << 20).await.unwrap();
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        let busy: Vec<bool> = (0..4)
+            .map(|i| m2.io_queue(i).stats().requests > 0)
+            .collect();
+        assert_eq!(busy.iter().filter(|&&b| b).count(), 1, "{busy:?}");
+    }
+
+    #[test]
+    fn degraded_io_node_slows_striped_io() {
+        let run_with = |degrade: bool| -> f64 {
+            let mut sim = Sim::new();
+            let mut cfg = presets::paragon_small().with_io_nodes(4);
+            if degrade {
+                cfg = cfg.with_degraded_io_node(2, 0.25);
+            }
+            let m = Machine::new(sim.handle(), cfg);
+            let fs = FileSystem::new(m, TraceCollector::new());
+            let jh = sim.spawn(async move {
+                let fh = fs
+                    .open(0, Interface::Passion, "f", Some(CreateOptions::default()))
+                    .await
+                    .unwrap();
+                fh.write_discard_at(0, 8 << 20).await.unwrap();
+            });
+            let end = sim.run();
+            jh.try_take().expect("completed");
+            end.as_secs_f64()
+        };
+        let nominal = run_with(false);
+        let degraded = run_with(true);
+        // Round-robin striping drags the whole op to the slowest node.
+        assert!(
+            degraded > 2.0 * nominal,
+            "hot-spot should dominate: {degraded} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn open_missing_without_create_errors() {
+        let mut sim = Sim::new();
+        let (fs, _) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            fs.open(0, Interface::UnixStyle, "nope", None)
+                .await
+                .map(|_| ())
+        });
+        sim.run();
+        assert!(matches!(jh.try_take().unwrap(), Err(FsError::NotFound(_))));
+    }
+}

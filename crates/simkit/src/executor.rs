@@ -1,0 +1,609 @@
+//! The deterministic virtual-time executor.
+//!
+//! A [`Sim`] owns a set of tasks (plain Rust futures) and an event heap of
+//! timers. The run loop polls every ready task until quiescence, then pops
+//! the earliest timer, advances virtual time to it, and wakes its task.
+//! Ties on the heap are broken by insertion sequence number, so a given
+//! program always produces the same schedule — simulations are exactly
+//! reproducible.
+//!
+//! The executor is single-threaded and `!Send`; cross-configuration sweeps
+//! parallelize at the granularity of whole `Sim` instances instead.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+type TaskId = u64;
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Timer heap entry: wake `waker` at `time`. Ordered by `(time, seq)`.
+struct TimerEntry {
+    time: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Queue of task ids whose wakers fired; shared with the (Send + Sync)
+/// wakers even though the executor itself is single-threaded.
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct TaskWaker {
+    id: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
+    }
+}
+
+struct Core {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    ready: ReadyQueue,
+    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
+    next_task: Cell<TaskId>,
+    events_processed: Cell<u64>,
+}
+
+/// A cloneable, lightweight handle into a running simulation.
+///
+/// Handles are captured by tasks to read the clock, sleep, and spawn
+/// subtasks. All clones refer to the same simulation.
+#[derive(Clone)]
+pub struct SimHandle {
+    core: Rc<Core>,
+}
+
+/// A deterministic discrete-event simulation.
+pub struct Sim {
+    handle: SimHandle,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at virtual time zero.
+    pub fn new() -> Sim {
+        Sim {
+            handle: SimHandle {
+                core: Rc::new(Core {
+                    now: Cell::new(SimTime::ZERO),
+                    seq: Cell::new(0),
+                    timers: RefCell::new(BinaryHeap::new()),
+                    ready: Arc::new(Mutex::new(VecDeque::new())),
+                    tasks: RefCell::new(HashMap::new()),
+                    next_task: Cell::new(0),
+                    events_processed: Cell::new(0),
+                }),
+            },
+        }
+    }
+
+    /// The handle used by tasks to interact with the simulation.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn a root task. Equivalent to `handle().spawn(fut)`.
+    pub fn spawn<T: 'static>(
+        &self,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        self.handle.spawn(fut)
+    }
+
+    /// Run until no runnable task and no pending timer remain, and return
+    /// the final virtual time.
+    ///
+    /// Tasks still blocked on a channel/barrier with no peer are simply
+    /// dropped when the simulation ends (deadlock is not an error at this
+    /// layer; higher layers assert on join handles instead).
+    pub fn run(&mut self) -> SimTime {
+        let core = &self.handle.core;
+        loop {
+            // Drain the ready queue to quiescence at the current instant.
+            loop {
+                let tid = core
+                    .ready
+                    .lock()
+                    .expect("ready queue poisoned")
+                    .pop_front();
+                let Some(tid) = tid else { break };
+                let Some(mut fut) = core.tasks.borrow_mut().remove(&tid) else {
+                    // Task finished earlier; stale wake.
+                    continue;
+                };
+                core.events_processed
+                    .set(core.events_processed.get() + 1);
+                let waker = Waker::from(Arc::new(TaskWaker {
+                    id: tid,
+                    ready: Arc::clone(&core.ready),
+                }));
+                let mut cx = Context::from_waker(&waker);
+                if fut.as_mut().poll(&mut cx).is_pending() {
+                    core.tasks.borrow_mut().insert(tid, fut);
+                }
+            }
+            // Advance to the next timer.
+            let next = core.timers.borrow_mut().pop();
+            match next {
+                Some(Reverse(entry)) => {
+                    debug_assert!(entry.time >= core.now.get());
+                    core.now.set(entry.time);
+                    entry.waker.wake();
+                }
+                None => break,
+            }
+        }
+        core.now.get()
+    }
+
+    /// Run a single root future to completion and return its output along
+    /// with the final virtual time. Panics if the future deadlocks (cannot
+    /// complete before the event queue empties).
+    pub fn run_to_completion<T: 'static>(
+        fut: impl FnOnce(SimHandle) -> Pin<Box<dyn Future<Output = T>>>,
+    ) -> (T, SimTime) {
+        let mut sim = Sim::new();
+        let handle = sim.handle();
+        let jh = sim.spawn(fut(handle));
+        let end = sim.run();
+        let out = jh
+            .try_take()
+            .expect("root task did not complete: simulation deadlocked");
+        (out, end)
+    }
+
+    /// Number of task polls performed so far (a rough event count, useful
+    /// for performance diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.handle.core.events_processed.get()
+    }
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.core.seq.get();
+        self.core.seq.set(s + 1);
+        s
+    }
+
+    /// Register a waker to fire at `deadline`.
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.next_seq();
+        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+            time: deadline.max(self.now()),
+            seq,
+            waker,
+        }));
+    }
+
+    /// Spawn a task; it begins running when the executor next reaches the
+    /// scheduling loop (at the current virtual instant).
+    pub fn spawn<T: 'static>(
+        &self,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        let slot: Rc<RefCell<JoinSlot<T>>> = Rc::new(RefCell::new(JoinSlot {
+            value: None,
+            waker: None,
+        }));
+        let slot2 = Rc::clone(&slot);
+        let wrapped: BoxFuture = Box::pin(async move {
+            let v = fut.await;
+            let mut s = slot2.borrow_mut();
+            s.value = Some(v);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        let id = self.core.next_task.get();
+        self.core.next_task.set(id + 1);
+        self.core.tasks.borrow_mut().insert(id, wrapped);
+        self.core
+            .ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+        JoinHandle { slot }
+    }
+
+    /// Sleep for `dur` of virtual time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Sleep until the given instant (no-op if already past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            handle: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Yield to let other already-runnable tasks at this instant run
+    /// first. (A zero-duration sleep would complete without yielding,
+    /// since its deadline is already reached on the first poll.)
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`]: pending once, then ready.
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinSlot<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Awaits the completion of a spawned task and yields its output.
+pub struct JoinHandle<T> {
+    slot: Rc<RefCell<JoinSlot<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the task output if it has completed, without awaiting.
+    pub fn try_take(&self) -> Option<T> {
+        self.slot.borrow_mut().value.take()
+    }
+
+    /// Whether the task has finished (output may already be taken).
+    pub fn is_finished(&self) -> bool {
+        self.slot.borrow().value.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut slot = self.slot.borrow_mut();
+        if let Some(v) = slot.value.take() {
+            Poll::Ready(v)
+        } else {
+            slot.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+pub struct Sleep {
+    handle: SimHandle,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.handle.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Await `fut` with a virtual-time deadline: `Some(output)` if it
+/// completes within `dur`, `None` otherwise. The future is spawned, so on
+/// timeout it keeps running detached (like an abandoned I/O request);
+/// callers that need cancellation should check a flag inside the future.
+pub async fn with_timeout<T: 'static>(
+    handle: &SimHandle,
+    dur: SimDuration,
+    fut: impl Future<Output = T> + 'static,
+) -> Option<T> {
+    let deadline = handle.now() + dur;
+    let jh = handle.spawn(fut);
+    // Poll the join handle against the deadline via a race future.
+    struct Race<T> {
+        jh: JoinHandle<T>,
+        sleep: Sleep,
+    }
+    impl<T> Future for Race<T> {
+        type Output = Option<T>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            // All fields are Unpin, so the struct is too.
+            let this = self.get_mut();
+            if let Poll::Ready(v) = Pin::new(&mut this.jh).poll(cx) {
+                return Poll::Ready(Some(v));
+            }
+            if Pin::new(&mut this.sleep).poll(cx).is_ready() {
+                return Poll::Ready(None);
+            }
+            Poll::Pending
+        }
+    }
+    Race {
+        jh,
+        sleep: handle.sleep_until(deadline),
+    }
+    .await
+}
+
+/// Await every future in `futs` (spawned concurrently in virtual time) and
+/// collect their outputs in order.
+///
+/// Because awaiting a [`JoinHandle`] consumes no virtual time, the caller
+/// resumes at the virtual instant when the *last* future finishes — i.e.
+/// this is a fork/join with correct parallel timing.
+pub async fn join_all<T: 'static, F>(handle: &SimHandle, futs: Vec<F>) -> Vec<T>
+where
+    F: Future<Output = T> + 'static,
+{
+    let handles: Vec<JoinHandle<T>> = futs.into_iter().map(|f| handle.spawn(f)).collect();
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let jh = sim.spawn(async move {
+            h.sleep(SimDuration::from_millis(250)).await;
+            h.now()
+        });
+        let end = sim.run();
+        assert_eq!(end, SimTime(250_000_000));
+        assert_eq!(jh.try_take().unwrap(), SimTime(250_000_000));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let mut sim = Sim::new();
+        let log: Rc<RefCell<Vec<(u32, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..3u32 {
+            let h = sim.handle();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for _step in 0..3u64 {
+                    h.sleep(SimDuration::from_millis(10 * (id as u64 + 1))).await;
+                    log.borrow_mut().push((id, h.now().as_nanos() / 1_000_000));
+                }
+            });
+        }
+        sim.run();
+        let got = log.borrow().clone();
+        // Task 0 ticks at 10,20,30; task 1 at 20,40,60; task 2 at 30,60,90.
+        // Ties resolve by timer registration order: task 1 registered its
+        // t=20 timer at t=0, before task 0 re-registered at t=10, so task 1
+        // fires first at t=20; likewise at t=30 and t=60.
+        assert_eq!(
+            got,
+            vec![
+                (0, 10),
+                (1, 20),
+                (0, 20),
+                (2, 30),
+                (0, 30),
+                (1, 40),
+                (2, 60),
+                (1, 60),
+                (2, 90)
+            ]
+        );
+    }
+
+    #[test]
+    fn join_all_resumes_at_last_completion() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let jh = sim.spawn(async move {
+            let h2 = h.clone();
+            let futs: Vec<_> = (1..=4u64)
+                .map(|i| {
+                    let h3 = h2.clone();
+                    async move {
+                        h3.sleep(SimDuration::from_secs(i)).await;
+                        i
+                    }
+                })
+                .collect();
+            let outs = join_all(&h2, futs).await;
+            (outs, h2.now())
+        });
+        sim.run();
+        let (outs, t) = jh.try_take().unwrap();
+        assert_eq!(outs, vec![1, 2, 3, 4]);
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn nested_spawn_runs_at_same_instant() {
+        let (val, end) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let child = h.spawn(async { 42 });
+                child.await
+            })
+        });
+        assert_eq!(val, 42);
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_returns_final_time_with_no_tasks() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn run_to_completion_detects_deadlock() {
+        Sim::run_to_completion(|_h| {
+            Box::pin(async move {
+                // A future that is never woken.
+                std::future::pending::<()>().await;
+            })
+        });
+    }
+
+    #[test]
+    fn sleep_until_past_instant_is_noop() {
+        let (t, end) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                h.sleep(SimDuration::from_secs(5)).await;
+                h.sleep_until(SimTime(1)).await; // already past
+                h.now()
+            })
+        });
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(end, t);
+    }
+
+    #[test]
+    fn blocked_tasks_are_dropped_cleanly_at_sim_end() {
+        // A task waiting on a channel with no sender left alive at the
+        // end of the run is simply dropped — no panic, no leak observable
+        // through the join handle.
+        let mut sim = Sim::new();
+        let (tx, rx) = crate::sync::channel::<u32>();
+        let jh = sim.spawn(async move { rx.recv().await });
+        let end = sim.run(); // tx still alive: recv never resolves
+        assert_eq!(end, SimTime::ZERO);
+        assert!(!jh.is_finished());
+        drop(tx);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run_first() {
+        let (order, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+                let l1 = Rc::clone(&log);
+                let peer = h.spawn(async move {
+                    l1.borrow_mut().push(1);
+                });
+                h.yield_now().await;
+                log.borrow_mut().push(2);
+                peer.await;
+                let order = log.borrow().clone();
+                order
+            })
+        });
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn with_timeout_returns_some_when_fast() {
+        let (out, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let h2 = h.clone();
+                with_timeout(&h, SimDuration::from_secs(10), async move {
+                    h2.sleep(SimDuration::from_secs(1)).await;
+                    42
+                })
+                .await
+            })
+        });
+        assert_eq!(out, Some(42));
+    }
+
+    #[test]
+    fn with_timeout_returns_none_when_slow() {
+        let (out, end) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let h2 = h.clone();
+                let r = with_timeout(&h, SimDuration::from_secs(1), async move {
+                    h2.sleep(SimDuration::from_secs(10)).await;
+                    42
+                })
+                .await;
+                (r, h.now())
+            })
+        });
+        let (r, t) = out;
+        assert_eq!(r, None);
+        assert_eq!(t, SimTime(1_000_000_000));
+        // The abandoned future still runs to completion.
+        assert_eq!(end, SimTime(10_000_000_000));
+    }
+
+    #[test]
+    fn events_processed_counts_polls() {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            for _ in 0..10 {
+                h.sleep(SimDuration::from_millis(1)).await;
+            }
+        });
+        sim.run();
+        assert!(sim.events_processed() >= 10);
+    }
+}

@@ -1,0 +1,648 @@
+//! Synchronization primitives in virtual time: channels, barriers,
+//! semaphores and one-shot events.
+//!
+//! All primitives are single-threaded (`Rc`-based) and deterministic:
+//! waiters are released in FIFO order of their first poll.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Create an unbounded multi-producer single-consumer channel.
+///
+/// `send` is non-blocking and consumes no virtual time; the message-passing
+/// layer models transfer latency separately before delivering.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(ChanInner {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+    }));
+    (
+        Sender {
+            inner: Rc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+}
+
+/// Sending half of a [`channel`].
+pub struct Sender<T> {
+    inner: Rc<RefCell<ChanInner<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().senders += 1;
+        Sender {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            if let Some(w) = inner.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message and wake the receiver.
+    pub fn send(&self, value: T) {
+        let mut inner = self.inner.borrow_mut();
+        inner.queue.push_back(value);
+        if let Some(w) = inner.recv_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// Receiving half of a [`channel`].
+pub struct Receiver<T> {
+    inner: Rc<RefCell<ChanInner<T>>>,
+}
+
+impl<T> Receiver<T> {
+    /// Await the next message; `None` once all senders are dropped and the
+    /// queue is drained.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Take a message if one is queued, without waiting.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut inner = self.rx.inner.borrow_mut();
+        if let Some(v) = inner.queue.pop_front() {
+            Poll::Ready(Some(v))
+        } else if inner.senders == 0 {
+            Poll::Ready(None)
+        } else {
+            inner.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+    wakers: Vec<Waker>,
+}
+
+/// A cyclic barrier for `n` virtual-time tasks.
+#[derive(Clone)]
+pub struct Barrier {
+    n: usize,
+    inner: Rc<RefCell<BarrierInner>>,
+}
+
+impl Barrier {
+    /// Create a barrier for `n` participants.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Barrier {
+        assert!(n > 0, "barrier must have at least one participant");
+        Barrier {
+            n,
+            inner: Rc::new(RefCell::new(BarrierInner {
+                arrived: 0,
+                generation: 0,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Wait until all `n` participants have called `wait`. Returns `true`
+    /// for exactly one participant per cycle (the last to arrive).
+    pub fn wait(&self) -> BarrierWait {
+        BarrierWait {
+            barrier: self.clone(),
+            generation: None,
+        }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+pub struct BarrierWait {
+    barrier: Barrier,
+    generation: Option<u64>,
+}
+
+impl Future for BarrierWait {
+    type Output = bool;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let this = &mut *self;
+        let barrier_inner = Rc::clone(&this.barrier.inner);
+        let mut inner = barrier_inner.borrow_mut();
+        match this.generation {
+            None => {
+                // First poll: arrive.
+                inner.arrived += 1;
+                if inner.arrived == this.barrier.n {
+                    inner.arrived = 0;
+                    inner.generation += 1;
+                    for w in inner.wakers.drain(..) {
+                        w.wake();
+                    }
+                    Poll::Ready(true)
+                } else {
+                    this.generation = Some(inner.generation);
+                    inner.wakers.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+            Some(gen) => {
+                if inner.generation != gen {
+                    Poll::Ready(false)
+                } else {
+                    inner.wakers.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+struct SemInner {
+    permits: usize,
+    waiters: VecDeque<Waker>,
+}
+
+/// A counting semaphore in virtual time. Acquisitions are granted in FIFO
+/// wake order.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemInner>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Acquire one permit, waiting if none is available.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            queued: false,
+        }
+    }
+
+    /// Release one permit and wake the longest-waiting acquirer.
+    pub fn release(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.permits += 1;
+        if let Some(w) = inner.waiters.pop_front() {
+            w.wake();
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    queued: bool,
+}
+
+impl Future for Acquire {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let mut inner = this.sem.inner.borrow_mut();
+        if inner.permits > 0 {
+            inner.permits -= 1;
+            Poll::Ready(())
+        } else {
+            // Re-queue on every poll; stale wakers are woken spuriously and
+            // simply re-queue, preserving FIFO order among live waiters.
+            inner.waiters.push_back(cx.waker().clone());
+            this.queued = true;
+            Poll::Pending
+        }
+    }
+}
+
+struct TurnstileInner {
+    turn: usize,
+    wakers: Vec<Waker>,
+}
+
+/// A round-robin turnstile for `n` participants: participant `k` may
+/// proceed only on its turn; [`Turnstile::advance`] passes the turn to
+/// `k + 1 (mod n)`. Deterministic total ordering for "synchronized mode"
+/// style protocols.
+#[derive(Clone)]
+pub struct Turnstile {
+    n: usize,
+    inner: Rc<RefCell<TurnstileInner>>,
+}
+
+impl Turnstile {
+    /// Create a turnstile for `n` participants; participant 0 goes first.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Turnstile {
+        assert!(n > 0, "turnstile needs at least one participant");
+        Turnstile {
+            n,
+            inner: Rc::new(RefCell::new(TurnstileInner {
+                turn: 0,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Whose turn it is.
+    pub fn turn(&self) -> usize {
+        self.inner.borrow().turn
+    }
+
+    /// Wait until it is `who`'s turn.
+    pub fn wait_turn(&self, who: usize) -> TurnWait {
+        assert!(who < self.n, "participant {who} out of range");
+        TurnWait {
+            ts: self.clone(),
+            who,
+        }
+    }
+
+    /// Pass the turn to the next participant and wake the waiters.
+    pub fn advance(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.turn = (inner.turn + 1) % self.n;
+        for w in inner.wakers.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Future returned by [`Turnstile::wait_turn`].
+pub struct TurnWait {
+    ts: Turnstile,
+    who: usize,
+}
+
+impl Future for TurnWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.ts.inner.borrow_mut();
+        if inner.turn == self.who {
+            Poll::Ready(())
+        } else {
+            inner.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+struct EventInner<T> {
+    value: Option<T>,
+    wakers: Vec<Waker>,
+}
+
+/// A one-shot broadcast event carrying a cloneable value.
+pub struct Event<T: Clone> {
+    inner: Rc<RefCell<EventInner<T>>>,
+}
+
+impl<T: Clone> Clone for Event<T> {
+    fn clone(&self) -> Self {
+        Event {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone> Default for Event<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Event<T> {
+    /// Create an unset event.
+    pub fn new() -> Event<T> {
+        Event {
+            inner: Rc::new(RefCell::new(EventInner {
+                value: None,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Set the value and wake all waiters. Panics if already set.
+    pub fn set(&self, value: T) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.value.is_none(), "event set twice");
+        inner.value = Some(value);
+        for w in inner.wakers.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Whether the event has been set.
+    pub fn is_set(&self) -> bool {
+        self.inner.borrow().value.is_some()
+    }
+
+    /// Wait for the event and clone its value.
+    pub fn wait(&self) -> EventWait<T> {
+        EventWait {
+            event: self.clone(),
+        }
+    }
+}
+
+/// Future returned by [`Event::wait`].
+pub struct EventWait<T: Clone> {
+    event: Event<T>,
+}
+
+impl<T: Clone> Future for EventWait<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.event.inner.borrow_mut();
+        if let Some(v) = &inner.value {
+            Poll::Ready(v.clone())
+        } else {
+            inner.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{join_all, Sim};
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (out, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let (tx, rx) = channel::<u32>();
+                h.spawn(async move {
+                    for i in 0..5 {
+                        tx.send(i);
+                    }
+                });
+                let mut got = Vec::new();
+                while let Some(v) = rx.recv().await {
+                    got.push(v);
+                }
+                got
+            })
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_recv_blocks_until_send() {
+        let (t, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let (tx, rx) = channel::<()>();
+                let h2 = h.clone();
+                h.spawn(async move {
+                    h2.sleep(SimDuration::from_secs(3)).await;
+                    tx.send(());
+                });
+                rx.recv().await.unwrap();
+                h.now()
+            })
+        });
+        assert_eq!(t, SimTime(3_000_000_000));
+    }
+
+    #[test]
+    fn try_recv_and_len_reflect_the_queue() {
+        let (tx, rx) = channel::<u32>();
+        assert!(rx.is_empty());
+        assert_eq!(rx.try_recv(), None);
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.try_recv(), Some(2));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn channel_close_returns_none() {
+        let (out, _) = Sim::run_to_completion(|_h| {
+            Box::pin(async move {
+                let (tx, rx) = channel::<u32>();
+                tx.send(7);
+                drop(tx);
+                assert_eq!(rx.recv().await, Some(7));
+                rx.recv().await
+            })
+        });
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn barrier_synchronizes_tasks() {
+        let (times, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let bar = Barrier::new(3);
+                let futs: Vec<_> = (0..3u64)
+                    .map(|i| {
+                        let h = h.clone();
+                        let bar = bar.clone();
+                        async move {
+                            h.sleep(SimDuration::from_secs(i + 1)).await;
+                            bar.wait().await;
+                            h.now()
+                        }
+                    })
+                    .collect();
+                join_all(&h, futs).await
+            })
+        });
+        // All resume when the slowest (3 s) arrives.
+        assert!(times.iter().all(|&t| t == SimTime(3_000_000_000)));
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let (rounds, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let bar = Barrier::new(2);
+                let futs: Vec<_> = (0..2u64)
+                    .map(|i| {
+                        let h = h.clone();
+                        let bar = bar.clone();
+                        async move {
+                            let mut at = Vec::new();
+                            for round in 0..3u64 {
+                                h.sleep(SimDuration::from_secs((i + 1) * (round + 1)))
+                                    .await;
+                                bar.wait().await;
+                                at.push(h.now());
+                            }
+                            at
+                        }
+                    })
+                    .collect();
+                join_all(&h, futs).await
+            })
+        });
+        assert_eq!(rounds[0], rounds[1]);
+        // Rounds strictly increase.
+        assert!(rounds[0][0] < rounds[0][1] && rounds[0][1] < rounds[0][2]);
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let (ends, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let sem = Semaphore::new(2);
+                let futs: Vec<_> = (0..4)
+                    .map(|_| {
+                        let h = h.clone();
+                        let sem = sem.clone();
+                        async move {
+                            sem.acquire().await;
+                            h.sleep(SimDuration::from_secs(1)).await;
+                            sem.release();
+                            h.now()
+                        }
+                    })
+                    .collect();
+                join_all(&h, futs).await
+            })
+        });
+        let secs: Vec<u64> = ends.iter().map(|t| t.as_nanos() / 1_000_000_000).collect();
+        assert_eq!(secs, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn turnstile_orders_participants_round_robin() {
+        let (log, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let ts = Turnstile::new(3);
+                let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+                let futs: Vec<_> = (0..3usize)
+                    .map(|who| {
+                        let ts = ts.clone();
+                        let log = std::rc::Rc::clone(&log);
+                        let h = h.clone();
+                        async move {
+                            for round in 0..2 {
+                                // Arrive out of order on purpose.
+                                h.sleep(SimDuration::from_millis(
+                                    ((2 - who) * 7 + round) as u64,
+                                ))
+                                .await;
+                                ts.wait_turn(who).await;
+                                log.borrow_mut().push(who);
+                                ts.advance();
+                            }
+                        }
+                    })
+                    .collect();
+                join_all(&h, futs).await;
+                let order = log.borrow().clone();
+                order
+            })
+        });
+        assert_eq!(log, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn turnstile_rejects_out_of_range() {
+        let ts = Turnstile::new(2);
+        drop(ts.wait_turn(2));
+    }
+
+    #[test]
+    fn event_broadcasts_value() {
+        let (vals, _) = Sim::run_to_completion(|h| {
+            Box::pin(async move {
+                let ev: Event<u32> = Event::new();
+                let waiters: Vec<_> = (0..3)
+                    .map(|_| {
+                        let ev = ev.clone();
+                        async move { ev.wait().await }
+                    })
+                    .collect();
+                let hs: Vec<_> = waiters.into_iter().map(|f| h.spawn(f)).collect();
+                h.sleep(SimDuration::from_secs(1)).await;
+                assert!(!ev.is_set());
+                ev.set(99);
+                let mut out = Vec::new();
+                for jh in hs {
+                    out.push(jh.await);
+                }
+                out
+            })
+        });
+        assert_eq!(vals, vec![99, 99, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set twice")]
+    fn event_set_twice_panics() {
+        let ev: Event<u8> = Event::new();
+        ev.set(1);
+        ev.set(2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Validation of the FIFO resource against classical queueing theory.
+//!
+//! The experiments' central quantity is queueing delay at contended I/O
+//! nodes, so the engine's queue must be *quantitatively* right, not just
+//! ordered correctly. These tests drive a [`Resource`] with Poisson
+//! arrivals and deterministic service (M/D/1) and compare the measured
+//! mean waiting time against the Pollaczek–Khinchine formula
+//! `Wq = ρ·s / (2(1−ρ))`, across utilizations.
+
+use iosim_simkit::prelude::*;
+
+/// Simulate an M/D/1 queue with service time `s` seconds and utilization
+/// `rho`, returning the measured mean wait (excluding service) over `n`
+/// arrivals.
+fn md1_mean_wait(s: f64, rho: f64, n: usize, seed: u64) -> f64 {
+    let sim = Sim::new();
+    let r = Resource::new(sim.handle(), "server", 1);
+    let mut rng = SimRng::seed_from(seed);
+    let rate = rho / s; // arrivals per second
+    let mut t = 0.0f64;
+    let mut waits = 0.0f64;
+    for _ in 0..n {
+        t += rng.exp(rate);
+        let arrival = SimTime((t * 1e9) as u64);
+        let (start, _end) = r.reserve_at(arrival, SimDuration::from_secs_f64(s));
+        waits += start.since(arrival).as_secs_f64();
+    }
+    waits / n as f64
+}
+
+fn pk_md1(s: f64, rho: f64) -> f64 {
+    rho * s / (2.0 * (1.0 - rho))
+}
+
+#[test]
+fn md1_wait_matches_pollaczek_khinchine_at_moderate_load() {
+    for &rho in &[0.3f64, 0.5, 0.7] {
+        let s = 0.010; // 10 ms deterministic service
+        let measured = md1_mean_wait(s, rho, 200_000, 42);
+        let analytic = pk_md1(s, rho);
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.05,
+            "rho={rho}: measured {measured:.6} vs analytic {analytic:.6} (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn md1_wait_grows_without_bound_near_saturation() {
+    let s = 0.010;
+    let w80 = md1_mean_wait(s, 0.80, 200_000, 7);
+    let w95 = md1_mean_wait(s, 0.95, 200_000, 7);
+    assert!(w95 > 3.0 * w80, "near saturation: {w95} vs {w80}");
+}
+
+#[test]
+fn md1_is_empty_at_negligible_load() {
+    let w = md1_mean_wait(0.010, 0.01, 50_000, 3);
+    assert!(w < 0.0002, "waits should vanish at 1% load: {w}");
+}
+
+#[test]
+fn multi_server_pools_reduce_waits_superlinearly() {
+    // M/D/c with the same per-server utilization waits far less than
+    // M/D/1 (the economy-of-scale effect that makes shared I/O-node
+    // pools attractive).
+    let s = 0.010;
+    let rho = 0.7;
+    let wait_with_servers = |c: usize, seed: u64| -> f64 {
+        let sim = Sim::new();
+        let r = Resource::new(sim.handle(), "pool", c);
+        let mut rng = SimRng::seed_from(seed);
+        let rate = rho * c as f64 / s;
+        let mut t = 0.0;
+        let mut waits = 0.0;
+        let n = 200_000;
+        for _ in 0..n {
+            t += rng.exp(rate);
+            let arrival = SimTime((t * 1e9) as u64);
+            let (start, _) = r.reserve_at(arrival, SimDuration::from_secs_f64(s));
+            waits += start.since(arrival).as_secs_f64();
+        }
+        waits / n as f64
+    };
+    let w1 = wait_with_servers(1, 5);
+    let w4 = wait_with_servers(4, 5);
+    assert!(
+        w4 < w1 / 2.0,
+        "4 servers at equal per-server load should wait much less: {w4} vs {w1}"
+    );
+}
+
+#[test]
+fn exponential_sampler_has_the_right_mean() {
+    let mut rng = SimRng::seed_from(11);
+    let rate = 2.5;
+    let n = 200_000;
+    let mean: f64 = (0..n).map(|_| rng.exp(rate)).sum::<f64>() / n as f64;
+    let rel = (mean - 1.0 / rate).abs() * rate;
+    assert!(rel < 0.01, "mean {mean} vs {}", 1.0 / rate);
+}

@@ -1,0 +1,110 @@
+//! Property tests of the FIFO resource: the virtual-queue booking must
+//! behave exactly like an m-server FIFO queue.
+
+use iosim_simkit::prelude::*;
+use proptest::prelude::*;
+
+/// Book `durs[i]` at arrival times `arrivals[i]` (non-decreasing) and
+/// return the (start, end) pairs.
+fn book_all(capacity: usize, jobs: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let sim = Sim::new();
+    let r = Resource::new(sim.handle(), "r", capacity);
+    jobs.iter()
+        .map(|&(arrival, dur)| {
+            let (s, e) = r.reserve_at(SimTime(arrival), SimDuration(dur));
+            (s.as_nanos(), e.as_nanos())
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn single_server_is_fifo_and_work_conserving(
+        mut jobs in proptest::collection::vec((0u64..10_000, 1u64..1_000), 1..50),
+    ) {
+        jobs.sort_by_key(|&(a, _)| a);
+        let booked = book_all(1, &jobs);
+        let mut prev_end = 0u64;
+        for ((arrival, dur), &(start, end)) in jobs.iter().zip(&booked) {
+            // FIFO: no job starts before the previous finished.
+            prop_assert!(start >= prev_end);
+            // No job starts before it arrives; service is exact.
+            prop_assert!(start >= *arrival);
+            prop_assert_eq!(end, start + dur);
+            // Work conservation: the server never idles while work waits —
+            // it starts at max(arrival, previous end).
+            prop_assert_eq!(start, (*arrival).max(prev_end));
+            prev_end = end;
+        }
+    }
+
+    #[test]
+    fn multi_server_never_exceeds_capacity(
+        mut jobs in proptest::collection::vec((0u64..5_000, 1u64..500), 1..60),
+        capacity in 1usize..5,
+    ) {
+        jobs.sort_by_key(|&(a, _)| a);
+        let booked = book_all(capacity, &jobs);
+        // At any service start, the number of overlapping services must
+        // not exceed the capacity.
+        for (i, &(s_i, _)) in booked.iter().enumerate() {
+            let overlapping = booked
+                .iter()
+                .enumerate()
+                .filter(|&(j, &(s, e))| j != i && s <= s_i && s_i < e)
+                .count();
+            prop_assert!(
+                overlapping < capacity,
+                "{overlapping} services already running at start {s_i}"
+            );
+        }
+        // Total busy time matches the sum of durations.
+        let total: u64 = jobs.iter().map(|&(_, d)| d).sum();
+        let busy: u64 = booked.iter().map(|&(s, e)| e - s).sum();
+        prop_assert_eq!(total, busy);
+    }
+
+    #[test]
+    fn stats_agree_with_bookings(
+        jobs in proptest::collection::vec((0u64..1_000, 1u64..100), 1..30),
+    ) {
+        let sim = Sim::new();
+        let r = Resource::new(sim.handle(), "r", 2);
+        let mut last = 0u64;
+        for &(arrival, dur) in &jobs {
+            let (_, e) = r.reserve_at(SimTime(arrival), SimDuration(dur));
+            last = last.max(e.as_nanos());
+        }
+        let st = r.stats();
+        prop_assert_eq!(st.requests, jobs.len() as u64);
+        prop_assert_eq!(
+            st.busy.as_nanos(),
+            jobs.iter().map(|&(_, d)| d).sum::<u64>()
+        );
+        prop_assert_eq!(st.last_completion.as_nanos(), last);
+    }
+
+    #[test]
+    fn sleeping_tasks_complete_in_deadline_order(
+        delays in proptest::collection::vec(1u64..1_000_000u64, 1..40),
+    ) {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let h = h.clone();
+            let log = std::rc::Rc::clone(&log);
+            sim.spawn(async move {
+                h.sleep(SimDuration(d)).await;
+                log.borrow_mut().push((d, i));
+            });
+        }
+        let end = sim.run();
+        prop_assert_eq!(end.as_nanos(), *delays.iter().max().unwrap());
+        let completed = log.borrow().clone();
+        // Completions are sorted by (deadline, spawn order).
+        let mut expected = completed.clone();
+        expected.sort();
+        prop_assert_eq!(completed, expected);
+    }
+}

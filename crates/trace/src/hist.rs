@@ -1,0 +1,173 @@
+//! Request-size histograms (power-of-two buckets), in the spirit of the
+//! Pablo analyses of request-size distributions: the unoptimized
+//! applications are recognizable by their mass of tiny requests, the
+//! optimized ones by a few large ones.
+
+use std::fmt::Write as _;
+
+/// Number of power-of-two buckets: sizes up to 2^31 bytes.
+const BUCKETS: usize = 32;
+
+/// A power-of-two size histogram.
+///
+/// ```
+/// use iosim_trace::SizeHistogram;
+/// let mut h = SizeHistogram::new();
+/// h.record(100);
+/// h.record(100);
+/// h.record(1 << 20);
+/// assert_eq!(h.total_count(), 3);
+/// assert_eq!(h.median_bucket_bound(), 128);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SizeHistogram {
+    counts: [u64; BUCKETS],
+    total_bytes: u64,
+}
+
+impl SizeHistogram {
+    /// New empty histogram.
+    pub fn new() -> SizeHistogram {
+        SizeHistogram::default()
+    }
+
+    fn bucket_of(bytes: u64) -> usize {
+        if bytes <= 1 {
+            0
+        } else {
+            (63 - (bytes - 1).leading_zeros() as usize + 1).min(BUCKETS - 1)
+        }
+    }
+
+    /// Record one request of `bytes`.
+    pub fn record(&mut self, bytes: u64) {
+        self.counts[Self::bucket_of(bytes)] += 1;
+        self.total_bytes += bytes;
+    }
+
+    /// Total requests recorded.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Count in the bucket covering `bytes`.
+    pub fn count_for(&self, bytes: u64) -> u64 {
+        self.counts[Self::bucket_of(bytes)]
+    }
+
+    /// The median request size's bucket upper bound (0 if empty).
+    pub fn median_bucket_bound(&self) -> u64 {
+        let total = self.total_count();
+        if total == 0 {
+            return 0;
+        }
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen * 2 >= total {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Human-readable bucket label, e.g. `"≤64K"`.
+    fn label(i: usize) -> String {
+        let bound = 1u64 << i;
+        if bound >= 1 << 30 {
+            format!("≤{}G", bound >> 30)
+        } else if bound >= 1 << 20 {
+            format!("≤{}M", bound >> 20)
+        } else if bound >= 1 << 10 {
+            format!("≤{}K", bound >> 10)
+        } else {
+            format!("≤{bound}")
+        }
+    }
+
+    /// Render the non-empty buckets as aligned rows with hash bars.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}  ({} requests)", self.total_count());
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = if max > 0 {
+                "#".repeat(((c as f64 / max as f64) * 40.0).ceil() as usize)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "{:>6} {:>10} |{bar}", Self::label(i), c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(SizeHistogram::bucket_of(0), 0);
+        assert_eq!(SizeHistogram::bucket_of(1), 0);
+        assert_eq!(SizeHistogram::bucket_of(2), 1);
+        assert_eq!(SizeHistogram::bucket_of(3), 2);
+        assert_eq!(SizeHistogram::bucket_of(64), 6);
+        assert_eq!(SizeHistogram::bucket_of(65), 7);
+        assert_eq!(SizeHistogram::bucket_of(1 << 20), 20);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut h = SizeHistogram::new();
+        for _ in 0..10 {
+            h.record(100);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.total_count(), 11);
+        assert_eq!(h.total_bytes(), 1000 + (1 << 20));
+        assert_eq!(h.count_for(100), 10);
+        assert_eq!(h.count_for(1 << 20), 1);
+    }
+
+    #[test]
+    fn median_tracks_the_mass() {
+        let mut h = SizeHistogram::new();
+        for _ in 0..100 {
+            h.record(512);
+        }
+        for _ in 0..3 {
+            h.record(1 << 22);
+        }
+        assert_eq!(h.median_bucket_bound(), 512);
+        assert_eq!(SizeHistogram::new().median_bucket_bound(), 0);
+    }
+
+    #[test]
+    fn render_shows_only_populated_buckets() {
+        let mut h = SizeHistogram::new();
+        h.record(100);
+        h.record(100_000);
+        let s = h.render("writes");
+        assert!(s.contains("≤128 "));
+        assert!(s.contains("≤128K"));
+        assert!(!s.contains("≤1G"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn huge_sizes_clamp_to_last_bucket() {
+        let mut h = SizeHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.total_count(), 1);
+        assert_eq!(h.count_for(u64::MAX), 1);
+    }
+}

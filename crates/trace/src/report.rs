@@ -1,0 +1,238 @@
+//! Paper-versus-measured comparison records.
+//!
+//! Every reproduced experiment emits [`Comparison`] rows: the value (or
+//! qualitative claim) the paper reports, the value this reproduction
+//! measures, and whether the *shape* criterion holds. `EXPERIMENTS.md` is
+//! assembled from these.
+
+use std::fmt::Write as _;
+
+use crate::figure::TextFigure;
+
+/// Outcome of checking one claim of the paper against the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The qualitative shape (ordering, crossover, hump, factor band)
+    /// matches the paper.
+    Holds,
+    /// Matches in direction but the magnitude is outside the expected band.
+    Partial,
+    /// Does not match.
+    Differs,
+}
+
+impl Verdict {
+    /// Human-readable marker.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Verdict::Holds => "✓",
+            Verdict::Partial => "~",
+            Verdict::Differs => "✗",
+        }
+    }
+}
+
+/// One paper-vs-measured comparison row.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// What is being compared (e.g. "BTIO 36 procs: exec-time reduction").
+    pub what: String,
+    /// The paper's value or claim, as text.
+    pub paper: String,
+    /// The measured value or claim, as text.
+    pub measured: String,
+    /// Shape verdict.
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    /// Build a row.
+    pub fn new(
+        what: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        verdict: Verdict,
+    ) -> Comparison {
+        Comparison {
+            what: what.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            verdict,
+        }
+    }
+
+    /// Convenience: compare two ratios, holding if within `tol` relative
+    /// error, partial if within `3*tol`, differing otherwise.
+    pub fn ratio(
+        what: impl Into<String>,
+        paper_ratio: f64,
+        measured_ratio: f64,
+        tol: f64,
+    ) -> Comparison {
+        let rel = if paper_ratio.abs() > f64::EPSILON {
+            ((measured_ratio - paper_ratio) / paper_ratio).abs()
+        } else {
+            measured_ratio.abs()
+        };
+        let verdict = if rel <= tol {
+            Verdict::Holds
+        } else if rel <= 3.0 * tol {
+            Verdict::Partial
+        } else {
+            Verdict::Differs
+        };
+        Comparison {
+            what: what.into(),
+            paper: format!("{paper_ratio:.2}"),
+            measured: format!("{measured_ratio:.2}"),
+            verdict,
+        }
+    }
+
+    /// Convenience: a boolean claim (e.g. "optimized beats unoptimized at
+    /// every processor count").
+    pub fn claim(what: impl Into<String>, paper: impl Into<String>, holds: bool) -> Comparison {
+        Comparison {
+            what: what.into(),
+            paper: paper.into(),
+            measured: if holds { "observed" } else { "NOT observed" }.into(),
+            verdict: if holds { Verdict::Holds } else { Verdict::Differs },
+        }
+    }
+}
+
+/// A report section for one experiment (table or figure).
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "Figure 6").
+    pub id: String,
+    /// Free-form rendered output (tables/figures).
+    pub body: String,
+    /// Shape checks.
+    pub comparisons: Vec<Comparison>,
+    /// Structured figures (for gnuplot export); their text rendering is
+    /// also appended to `body` when pushed via
+    /// [`ExperimentReport::push_figure`].
+    pub figures: Vec<TextFigure>,
+}
+
+impl ExperimentReport {
+    /// New empty report.
+    pub fn new(id: impl Into<String>) -> ExperimentReport {
+        ExperimentReport {
+            id: id.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Append rendered output.
+    pub fn push_body(&mut self, s: &str) {
+        self.body.push_str(s);
+        if !s.ends_with('\n') {
+            self.body.push('\n');
+        }
+    }
+
+    /// Append a comparison row.
+    pub fn push(&mut self, c: Comparison) {
+        self.comparisons.push(c);
+    }
+
+    /// Append a figure: its table rendering goes into the body and the
+    /// structured form is kept for plot export.
+    pub fn push_figure(&mut self, fig: TextFigure) {
+        self.push_body(&fig.render_table());
+        self.figures.push(fig);
+    }
+
+    /// True if no comparison differs outright.
+    pub fn shape_holds(&self) -> bool {
+        self.comparisons
+            .iter()
+            .all(|c| c.verdict != Verdict::Differs)
+    }
+
+    /// Render the report as markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.id);
+        if !self.body.is_empty() {
+            let _ = writeln!(out, "```text\n{}```\n", self.body);
+        }
+        if !self.comparisons.is_empty() {
+            let _ = writeln!(out, "| check | paper | measured | shape |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for c in &self.comparisons {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} |",
+                    c.what,
+                    c.paper,
+                    c.measured,
+                    c.verdict.marker()
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_verdict_bands() {
+        assert_eq!(
+            Comparison::ratio("x", 2.0, 2.1, 0.10).verdict,
+            Verdict::Holds
+        );
+        assert_eq!(
+            Comparison::ratio("x", 2.0, 2.5, 0.10).verdict,
+            Verdict::Partial
+        );
+        assert_eq!(
+            Comparison::ratio("x", 2.0, 4.0, 0.10).verdict,
+            Verdict::Differs
+        );
+    }
+
+    #[test]
+    fn ratio_handles_zero_paper_value() {
+        assert_eq!(
+            Comparison::ratio("x", 0.0, 0.0, 0.1).verdict,
+            Verdict::Holds
+        );
+        assert_eq!(
+            Comparison::ratio("x", 0.0, 1.0, 0.1).verdict,
+            Verdict::Differs
+        );
+    }
+
+    #[test]
+    fn claim_maps_to_verdict() {
+        assert_eq!(Comparison::claim("c", "p", true).verdict, Verdict::Holds);
+        assert_eq!(Comparison::claim("c", "p", false).verdict, Verdict::Differs);
+    }
+
+    #[test]
+    fn report_shape_holds_logic() {
+        let mut r = ExperimentReport::new("Fig 1");
+        r.push(Comparison::claim("a", "p", true));
+        assert!(r.shape_holds());
+        r.push(Comparison::ratio("b", 1.0, 1.5, 0.1));
+        assert!(!r.shape_holds());
+    }
+
+    #[test]
+    fn markdown_has_table_and_body() {
+        let mut r = ExperimentReport::new("Table 4");
+        r.push_body("some table");
+        r.push(Comparison::claim("a", "p", true));
+        let md = r.render_markdown();
+        assert!(md.contains("## Table 4"));
+        assert!(md.contains("```text"));
+        assert!(md.contains("| a | p | observed | ✓ |"));
+    }
+}

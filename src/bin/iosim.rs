@@ -1,0 +1,251 @@
+//! `iosim` — run any of the five applications on a simulated machine with
+//! custom parameters, and print the timing summary, the Pablo-style trace
+//! table, and the request-size histograms.
+//!
+//! ```text
+//! iosim scf11 --input large --version prefetch --procs 64 --io-nodes 16 --scale 0.25
+//! iosim scf30 --cached 90 --procs 64 --io-nodes 64 --scale 0.5
+//! iosim fft   --n 1024 --procs 8 --io-nodes 2 --optimized
+//! iosim btio  --class a --procs 36 --optimized --dumps 10
+//! iosim ast   --procs 64 --io-nodes 16 --grid 1024 --optimized
+//! ```
+
+use std::collections::HashMap;
+
+use iosim::apps::{ast, btio, fft, scf11, scf30};
+use iosim::apps::RunResult;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(app) = args.next() else {
+        usage();
+        return;
+    };
+    let opts = parse_flags(args);
+    let result = match app.as_str() {
+        "scf11" => run_scf11(&opts),
+        "scf30" => run_scf30(&opts),
+        "fft" => run_fft(&opts),
+        "btio" => run_btio(&opts),
+        "ast" => run_ast(&opts),
+        "replay" => run_replay(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            return;
+        }
+        other => die(&format!("unknown application '{other}'")),
+    };
+    print_result(&result);
+}
+
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.0.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for --{key}: {v}"))),
+            None => default,
+        }
+    }
+    fn flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.0.get(key).map(String::as_str).unwrap_or(default)
+    }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Opts {
+    let mut map = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(stripped) = a.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                map.insert(k, String::new()); // boolean flag
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            map.insert(k, a);
+        } else {
+            die(&format!("unexpected argument '{a}'"));
+        }
+    }
+    if let Some(k) = key {
+        map.insert(k, String::new());
+    }
+    Opts(map)
+}
+
+fn run_scf11(o: &Opts) -> RunResult {
+    let input = match o.str_or("input", "small") {
+        "small" => scf11::ScfInput::Small,
+        "medium" => scf11::ScfInput::Medium,
+        "large" => scf11::ScfInput::Large,
+        other => die(&format!("unknown input '{other}' (small|medium|large)")),
+    };
+    let version = match o.str_or("version", "original") {
+        "original" | "fortran" => scf11::Scf11Version::Original,
+        "passion" => scf11::Scf11Version::Passion,
+        "prefetch" => scf11::Scf11Version::PassionPrefetch,
+        other => die(&format!("unknown version '{other}' (original|passion|prefetch)")),
+    };
+    let cfg = scf11::Scf11Config {
+        procs: o.get("procs", 4),
+        io_nodes: o.get("io-nodes", 12),
+        mem_kb: o.get("mem-kb", 64),
+        stripe_unit_kb: o.get("stripe-kb", 64),
+        scale: o.get("scale", 1.0),
+        ..scf11::Scf11Config::new(input, version)
+    };
+    eprintln!("SCF 1.1 {} {:?} tuple {}", input.name(), version, cfg.tuple());
+    let r = scf11::run(&cfg);
+    eprintln!("foreground I/O time: {}", r.fg_io_time);
+    r.run
+}
+
+fn run_scf30(o: &Opts) -> RunResult {
+    let cfg = scf30::Scf30Config {
+        io_nodes: o.get("io-nodes", 16),
+        balanced: !o.flag("unbalanced"),
+        prefetch: !o.flag("no-prefetch"),
+        scale: o.get("scale", 1.0),
+        ..scf30::Scf30Config::new(
+            scf11::ScfInput::Medium,
+            o.get("procs", 32),
+            o.get("cached", 90),
+        )
+    };
+    eprintln!(
+        "SCF 3.0 MEDIUM {}% cached, {} procs, {} I/O nodes",
+        cfg.cached_percent, cfg.procs, cfg.io_nodes
+    );
+    let r = scf30::run(&cfg);
+    eprintln!("balance moved: {} KB", r.balance_moved / 1024);
+    r.run
+}
+
+fn run_fft(o: &Opts) -> RunResult {
+    let mut cfg = fft::FftConfig::new(
+        o.get("n", 1024),
+        o.get("procs", 4),
+        o.flag("optimized"),
+    );
+    cfg.io_nodes = o.get("io-nodes", 2);
+    cfg.mem_per_proc = o.get("mem-mb", 16u64) << 20;
+    eprintln!(
+        "2-D out-of-core FFT {}x{} complex, {} procs, {} I/O nodes, optimized={}",
+        cfg.n, cfg.n, cfg.procs, cfg.io_nodes, cfg.optimized
+    );
+    fft::run(&cfg)
+}
+
+fn run_btio(o: &Opts) -> RunResult {
+    let class = match o.str_or("class", "a") {
+        "a" | "A" => btio::BtClass::A,
+        "b" | "B" => btio::BtClass::B,
+        other => {
+            let n: u64 = other
+                .parse()
+                .unwrap_or_else(|_| die("class must be a, b, or a grid size"));
+            btio::BtClass::Custom(n)
+        }
+    };
+    let cfg = btio::BtioConfig {
+        dumps: o.get("dumps", 40),
+        verify: o.flag("verify"),
+        ..btio::BtioConfig::new(class, o.get("procs", 16), o.flag("optimized"))
+    };
+    eprintln!(
+        "BTIO {} ({}³ grid), {} procs, {} dumps, optimized={}",
+        class.name(),
+        class.n(),
+        cfg.procs,
+        cfg.dumps,
+        cfg.optimized
+    );
+    btio::run(&cfg)
+}
+
+fn run_ast(o: &Opts) -> RunResult {
+    let cfg = ast::AstConfig {
+        grid: o.get("grid", 2048),
+        arrays: o.get("arrays", 4),
+        dumps: o.get("dumps", 10),
+        restart: o.flag("restart"),
+        ..ast::AstConfig::new(
+            o.get("procs", 16),
+            o.get("io-nodes", 16),
+            o.flag("optimized"),
+        )
+    };
+    eprintln!(
+        "AST {}x{} grid, {} arrays, {} procs, {} I/O nodes, optimized={}",
+        cfg.grid, cfg.grid, cfg.arrays, cfg.procs, cfg.io_nodes, cfg.optimized
+    );
+    ast::run(&cfg)
+}
+
+fn run_replay(o: &Opts) -> RunResult {
+    use iosim::apps::replay;
+    let path = o.str_or("trace", "");
+    if path.is_empty() {
+        die("replay needs --trace FILE");
+    }
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let ops = replay::parse_trace(&text).unwrap_or_else(|e| die(&e.to_string()));
+    let machine = match o.str_or("machine", "sp2") {
+        "sp2" => iosim::machine::presets::sp2(),
+        "paragon" => iosim::machine::presets::paragon_large(),
+        "paragon-small" => iosim::machine::presets::paragon_small(),
+        other => die(&format!("unknown machine '{other}'")),
+    }
+    .with_compute_nodes(replay::ranks_of(&ops).max(1));
+    let batch: usize = o.get("collective", 0);
+    let cfg = if batch > 0 {
+        replay::ReplayConfig::collective(machine, batch)
+    } else {
+        replay::ReplayConfig::direct(machine)
+    };
+    eprintln!(
+        "replaying {} ops across {} ranks ({})",
+        ops.len(),
+        replay::ranks_of(&ops),
+        if batch > 0 {
+            format!("two-phase, batch {batch}")
+        } else {
+            "direct".into()
+        }
+    );
+    replay::replay(&ops, &cfg)
+}
+
+fn print_result(r: &RunResult) {
+    println!("execution time : {}", r.exec_time);
+    println!("I/O time (wall): {}  ({:.1}% of exec)", r.io_time, 100.0 * r.io_fraction());
+    println!("I/O volume     : {:.2} MB over {} operations", r.io_bytes as f64 / 1e6, r.io_ops);
+    println!("I/O bandwidth  : {:.2} MB/s", r.bandwidth_mb_s());
+    println!();
+    println!("{}", r.summary.render("I/O trace (cumulative across ranks)", r.cum_exec_time()));
+}
+
+fn usage() {
+    println!(
+        "usage: iosim <scf11|scf30|fft|btio|ast> [--flag value]...\n\
+         \n\
+         common flags: --procs N --io-nodes N --scale X --optimized\n\
+         scf11: --input small|medium|large --version original|passion|prefetch --mem-kb N --stripe-kb N\n\
+         scf30: --cached PCT --unbalanced --no-prefetch\n\
+         fft:   --n N --mem-mb N\n\
+         btio:  --class a|b|N --dumps N --verify\n\
+         ast:   --grid N --arrays N --dumps N --restart\n\
+         replay: --trace FILE [--collective BATCH] [--machine sp2|paragon|paragon-small]"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("iosim: {msg}");
+    std::process::exit(2);
+}

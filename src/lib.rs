@@ -1,0 +1,57 @@
+//! # iosim — architectural & software techniques for I/O-intensive applications
+//!
+//! A simulation framework reproducing Kandaswamy, Kandemir, Choudhary &
+//! Bernholdt, *"Performance Implications of Architectural and Software
+//! Techniques on I/O-Intensive Applications"* (ICPP 1998): a deterministic
+//! discrete-event model of 1990s message-passing machines (Intel Paragon,
+//! IBM SP-2) with striped parallel file systems, a PASSION-style parallel
+//! I/O optimization runtime (two-phase collective I/O, prefetching, file
+//! layout selection, packed interfaces, balanced I/O), and the paper's
+//! five applications (SCF 1.1, SCF 3.0, out-of-core FFT, BTIO, AST).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`simkit`] — virtual-time async executor (DES engine)
+//! - [`machine`] — hardware model and presets
+//! - [`pfs`] — parallel file system (PFS / PIOFS)
+//! - [`msg`] — message passing over the simulated mesh
+//! - [`optim`] — the I/O optimization runtime (the paper's subject)
+//! - [`trace`] — Pablo-style instrumentation and report tables
+//! - [`apps`] — the five applications
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iosim::prelude::*;
+//!
+//! // Run BTIO Class-sized workload with and without two-phase I/O.
+//! let mut cfg = iosim::apps::btio::BtioConfig::new(
+//!     iosim::apps::btio::BtClass::Custom(16), 4, false);
+//! cfg.dumps = 2;
+//! let unopt = iosim::apps::btio::run(&cfg);
+//! cfg.optimized = true;
+//! let opt = iosim::apps::btio::run(&cfg);
+//! assert!(opt.exec_time < unopt.exec_time);
+//! ```
+
+pub use iosim_apps as apps;
+pub use iosim_core as optim;
+pub use iosim_machine as machine;
+pub use iosim_msg as msg;
+pub use iosim_pfs as pfs;
+pub use iosim_simkit as simkit;
+pub use iosim_trace as trace;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use iosim_apps::common::{run_ranks, AppCtx, RunResult};
+    pub use iosim_core::{
+        read_collective, write_collective, FileLayout, OocArray, PackedWriter, Piece,
+        Prefetcher, SemiDirect, Span,
+    };
+    pub use iosim_machine::{presets, Interface, Machine, MachineConfig};
+    pub use iosim_msg::{Comm, MatchSrc, Payload, World};
+    pub use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError};
+    pub use iosim_simkit::prelude::*;
+    pub use iosim_trace::{OpKind, TraceCollector};
+}

@@ -1,0 +1,90 @@
+//! Cross-crate determinism: a simulation is a pure function of its
+//! configuration. Every app must produce bit-identical measurements on
+//! repeated runs, including when runs execute on different host threads.
+
+use iosim::apps::{ast, btio, fft, scf11, scf30};
+
+fn scf11_cfg() -> scf11::Scf11Config {
+    scf11::Scf11Config {
+        scale: 0.02,
+        ..scf11::Scf11Config::new(scf11::ScfInput::Small, scf11::Scf11Version::PassionPrefetch)
+    }
+}
+
+#[test]
+fn scf11_runs_are_bit_identical() {
+    let a = scf11::run(&scf11_cfg());
+    let b = scf11::run(&scf11_cfg());
+    assert_eq!(a.run.exec_time, b.run.exec_time);
+    assert_eq!(a.run.io_time, b.run.io_time);
+    assert_eq!(a.run.io_ops, b.run.io_ops);
+    assert_eq!(a.fg_io_time, b.fg_io_time);
+}
+
+#[test]
+fn scf30_runs_are_bit_identical() {
+    let cfg = scf30::Scf30Config {
+        scale: 0.02,
+        ..scf30::Scf30Config::new(scf11::ScfInput::Small, 8, 75)
+    };
+    let a = scf30::run(&cfg);
+    let b = scf30::run(&cfg);
+    assert_eq!(a.run.exec_time, b.run.exec_time);
+    assert_eq!(a.balance_moved, b.balance_moved);
+}
+
+#[test]
+fn fft_runs_are_bit_identical() {
+    let cfg = fft::FftConfig::new(128, 4, true);
+    let a = fft::run(&cfg);
+    let b = fft::run(&cfg);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.io_ops, b.io_ops);
+}
+
+#[test]
+fn btio_runs_are_bit_identical() {
+    let cfg = btio::BtioConfig {
+        dumps: 2,
+        ..btio::BtioConfig::new(btio::BtClass::Custom(16), 9, false)
+    };
+    let a = btio::run(&cfg);
+    let b = btio::run(&cfg);
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.summary.rows[2].count, b.summary.rows[2].count);
+}
+
+#[test]
+fn ast_runs_are_bit_identical() {
+    let cfg = ast::AstConfig {
+        grid: 64,
+        arrays: 2,
+        dumps: 2,
+        ..ast::AstConfig::new(4, 16, true)
+    };
+    let a = ast::run(&cfg);
+    let b = ast::run(&cfg);
+    assert_eq!(a.exec_time, b.exec_time);
+}
+
+#[test]
+fn results_are_identical_across_host_threads() {
+    let baseline = scf11::run(&scf11_cfg()).run.exec_time;
+    let handles: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(|| scf11::run(&scf11_cfg()).run.exec_time))
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("thread ok"), baseline);
+    }
+}
+
+#[test]
+fn functional_capture_is_deterministic() {
+    let cfg = fft::FftConfig {
+        stored: true,
+        ..fft::FftConfig::new(16, 2, false)
+    };
+    let (_, a) = fft::run_capture(&cfg);
+    let (_, b) = fft::run_capture(&cfg);
+    assert_eq!(a, b);
+}

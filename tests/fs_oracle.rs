@@ -1,0 +1,264 @@
+//! Property tests driving the whole stack against an in-memory oracle:
+//! random sequences of writes and reads through the simulated parallel
+//! file system must behave exactly like a plain byte vector, regardless
+//! of striping, interface, or interleaving across ranks.
+
+use std::rc::Rc;
+
+use iosim::prelude::*;
+use proptest::prelude::*;
+
+/// An operation in the random program.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { offset: u64, len: u64, fill: u8 },
+    Read { offset: u64, len: u64 },
+}
+
+fn op_strategy(max_file: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_file, 1..2048u64, any::<u8>()).prop_map(|(offset, len, fill)| Op::Write {
+            offset,
+            len,
+            fill
+        }),
+        (0..max_file, 1..2048u64).prop_map(|(offset, len)| Op::Read { offset, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_io_matches_in_memory_oracle(
+        ops in proptest::collection::vec(op_strategy(16_384), 1..40),
+        stripe_unit in 64u64..4096,
+        io_nodes in 1usize..6,
+    ) {
+        let mut sim = Sim::new();
+        let machine = Machine::new(
+            sim.handle(),
+            presets::paragon_small().with_io_nodes(io_nodes),
+        );
+        let fs = FileSystem::new(machine, TraceCollector::new());
+        let ops2 = ops.clone();
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(
+                    0,
+                    Interface::UnixStyle,
+                    "oracle",
+                    Some(CreateOptions {
+                        stored: true,
+                        stripe_unit: Some(stripe_unit),
+                        ..Default::default()
+                    }),
+                )
+                .await
+                .expect("open");
+            let mut oracle: Vec<u8> = Vec::new();
+            for op in ops2 {
+                match op {
+                    Op::Write { offset, len, fill } => {
+                        let data = vec![fill; len as usize];
+                        fh.write_at(offset, &data).await.expect("write");
+                        let end = (offset + len) as usize;
+                        if oracle.len() < end {
+                            oracle.resize(end, 0);
+                        }
+                        oracle[offset as usize..end].copy_from_slice(&data);
+                        assert_eq!(fh.size(), oracle.len() as u64);
+                    }
+                    Op::Read { offset, len } => {
+                        if offset + len <= oracle.len() as u64 {
+                            let got = fh.read_at(offset, len).await.expect("read");
+                            assert_eq!(
+                                got,
+                                &oracle[offset as usize..(offset + len) as usize]
+                            );
+                        } else {
+                            assert!(fh.read_at(offset, len).await.is_err());
+                        }
+                    }
+                }
+            }
+        });
+        sim.run();
+        jh.try_take().expect("program completed");
+    }
+
+    #[test]
+    fn concurrent_writers_to_disjoint_regions_compose(
+        region in 512u64..4096,
+        ranks in 2usize..6,
+        seed in any::<u8>(),
+    ) {
+        let mut sim = Sim::new();
+        let machine = Machine::new(sim.handle(), presets::paragon_small());
+        let fs = FileSystem::new(machine, TraceCollector::new());
+        let h = sim.handle();
+        let futs: Vec<_> = (0..ranks)
+            .map(|r| {
+                let fs = Rc::clone(&fs);
+                async move {
+                    let fh = fs
+                        .open(
+                            r,
+                            Interface::Passion,
+                            "shared",
+                            Some(CreateOptions {
+                                stored: true,
+                                ..Default::default()
+                            }),
+                        )
+                        .await
+                        .expect("open");
+                    let data: Vec<u8> =
+                        (0..region).map(|i| (i as u8) ^ (r as u8) ^ seed).collect();
+                    fh.write_at(r as u64 * region, &data).await.expect("write");
+                }
+            })
+            .collect();
+        let fs2 = Rc::clone(&fs);
+        let jh = sim.spawn(async move {
+            iosim::simkit::executor::join_all(&h, futs).await;
+            let fh = fs2
+                .open(0, Interface::Passion, "shared", None)
+                .await
+                .expect("reopen");
+            fh.read_at(0, ranks as u64 * region).await.expect("read all")
+        });
+        sim.run();
+        let all = jh.try_take().expect("completed");
+        for r in 0..ranks {
+            for i in 0..region {
+                assert_eq!(
+                    all[(r as u64 * region + i) as usize],
+                    (i as u8) ^ (r as u8) ^ seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_groups_confine_traffic_to_their_nodes(
+        stripe_factor in 1usize..5,
+        ops in proptest::collection::vec((0u64..1_000_000, 1u64..100_000), 1..12),
+    ) {
+        let mut sim = Sim::new();
+        let machine = Machine::new(
+            sim.handle(),
+            presets::paragon_small().with_io_nodes(6),
+        );
+        let m2 = std::rc::Rc::clone(&machine);
+        let fs = FileSystem::new(machine, TraceCollector::new());
+        let ops2 = ops.clone();
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(
+                    0,
+                    Interface::Passion,
+                    "grouped",
+                    Some(CreateOptions {
+                        stripe_factor: Some(stripe_factor),
+                        ..Default::default()
+                    }),
+                )
+                .await
+                .expect("open");
+            for (offset, len) in ops2 {
+                fh.write_discard_at(offset, len).await.expect("write");
+            }
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        let busy_nodes = (0..6)
+            .filter(|&i| m2.io_queue(i).stats().requests > 0)
+            .count();
+        prop_assert!(
+            busy_nodes <= stripe_factor,
+            "traffic leaked outside the stripe group: {busy_nodes} > {stripe_factor}"
+        );
+    }
+
+    #[test]
+    fn two_phase_random_pieces_equal_direct(
+        piece_lens in proptest::collection::vec(1u64..300, 4..16),
+        ranks in 2usize..5,
+    ) {
+        // Deterministically deal random-length contiguous pieces to ranks
+        // round-robin; both write paths must produce the same file.
+        let offsets: Vec<u64> = piece_lens
+            .iter()
+            .scan(0u64, |acc, &l| {
+                let o = *acc;
+                *acc += l;
+                Some(o)
+            })
+            .collect();
+        let total: u64 = piece_lens.iter().sum();
+        let build = |collective: bool| -> Vec<u8> {
+            let out: Rc<std::cell::RefCell<Vec<u8>>> = Rc::default();
+            let out2 = Rc::clone(&out);
+            let lens = piece_lens.clone();
+            let offs = offsets.clone();
+            iosim::apps::common::run_ranks(
+                presets::sp2().with_compute_nodes(ranks),
+                ranks,
+                move |ctx| {
+                    let lens = lens.clone();
+                    let offs = offs.clone();
+                    let out = Rc::clone(&out2);
+                    Box::pin(async move {
+                        let fh = ctx
+                            .fs
+                            .open(
+                                ctx.rank,
+                                Interface::UnixStyle,
+                                "tp",
+                                Some(CreateOptions {
+                                    stored: true,
+                                    ..Default::default()
+                                }),
+                            )
+                            .await
+                            .expect("open");
+                        let mine: Vec<Piece> = lens
+                            .iter()
+                            .zip(&offs)
+                            .enumerate()
+                            .filter(|(k, _)| k % ctx.comm.size() == ctx.rank)
+                            .map(|(k, (&l, &o))| {
+                                let data: Vec<u8> =
+                                    (0..l).map(|i| ((k as u64 * 13 + i) % 251) as u8).collect();
+                                Piece::bytes(o, data)
+                            })
+                            .collect();
+                        if collective {
+                            write_collective(&ctx.comm, &fh, mine)
+                                .await
+                                .expect("collective");
+                        } else {
+                            for p in mine {
+                                fh.write_at(p.offset, &p.payload.data.expect("bytes"))
+                                    .await
+                                    .expect("direct");
+                            }
+                        }
+                        ctx.comm.barrier().await;
+                        if ctx.rank == 0 {
+                            *out.borrow_mut() =
+                                fh.read_at(0, fh.size()).await.expect("read back");
+                        }
+                    })
+                },
+            );
+            let v = out.borrow().clone();
+            v
+        };
+        let direct = build(false);
+        let collective = build(true);
+        prop_assert_eq!(direct.len() as u64, total);
+        prop_assert_eq!(direct, collective);
+    }
+}
