@@ -55,6 +55,8 @@ pub struct AstConfig {
     pub restart: bool,
     /// Carry real bytes (small grids only).
     pub stored: bool,
+    /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
+    pub cache_mb: u64,
 }
 
 impl AstConfig {
@@ -71,6 +73,7 @@ impl AstConfig {
             dumps: 10,
             restart: false,
             stored: false,
+            cache_mb: 0,
         }
     }
 
@@ -85,9 +88,12 @@ impl AstConfig {
     }
 
     fn machine(&self) -> MachineConfig {
-        presets::paragon_large()
-            .with_compute_nodes(self.procs.max(1))
-            .with_io_nodes(self.io_nodes)
+        crate::common::with_cache_mb(
+            presets::paragon_large()
+                .with_compute_nodes(self.procs.max(1))
+                .with_io_nodes(self.io_nodes),
+            self.cache_mb,
+        )
     }
 }
 

@@ -84,6 +84,8 @@ pub struct BtioConfig {
     pub verify: bool,
     /// Carry real bytes (small grids only).
     pub stored: bool,
+    /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
+    pub cache_mb: u64,
 }
 
 impl BtioConfig {
@@ -99,6 +101,7 @@ impl BtioConfig {
             steps_per_dump: 5,
             verify: false,
             stored: false,
+            cache_mb: 0,
         }
     }
 
@@ -114,7 +117,10 @@ impl BtioConfig {
     }
 
     fn machine(&self) -> MachineConfig {
-        presets::sp2().with_compute_nodes(self.procs.max(1))
+        crate::common::with_cache_mb(
+            presets::sp2().with_compute_nodes(self.procs.max(1)),
+            self.cache_mb,
+        )
     }
 }
 

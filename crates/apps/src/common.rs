@@ -10,7 +10,7 @@ use iosim_msg::{Comm, World};
 use iosim_pfs::FileSystem;
 use iosim_simkit::executor::{join_all, Sim};
 use iosim_simkit::time::SimDuration;
-use iosim_trace::{IoSummary, TraceCollector};
+use iosim_trace::{CacheSnapshot, IoSummary, TraceCollector};
 
 /// Everything one simulated process needs.
 pub struct AppCtx {
@@ -52,6 +52,8 @@ pub struct RunResult {
     pub write_sizes: iosim_trace::SizeHistogram,
     /// I/O load balance across ranks.
     pub balance: iosim_trace::BalanceStats,
+    /// Buffer-cache behaviour (all zero when the machine runs uncached).
+    pub cache: CacheSnapshot,
 }
 
 impl RunResult {
@@ -80,6 +82,17 @@ impl RunResult {
         } else {
             0.0
         }
+    }
+}
+
+/// Apply an application-level cache knob to a machine config:
+/// `cache_mb` megabytes of LRU buffer cache per I/O node, `0` keeping
+/// the machine uncached (the presets' default).
+pub fn with_cache_mb(cfg: MachineConfig, cache_mb: u64) -> MachineConfig {
+    if cache_mb == 0 {
+        cfg
+    } else {
+        cfg.with_lru_cache(cache_mb << 20)
     }
 }
 
@@ -137,6 +150,7 @@ pub fn run_ranks(
         read_sizes: trace.read_sizes(),
         write_sizes: trace.write_sizes(),
         balance: trace.balance(),
+        cache: trace.cache().snapshot(),
     }
 }
 

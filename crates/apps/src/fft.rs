@@ -52,6 +52,9 @@ pub struct FftConfig {
     pub mem_per_proc: u64,
     /// Run only the fill + transpose (for functional transpose checks).
     pub transpose_only: bool,
+    /// Per-I/O-node LRU buffer cache in MB (0 = uncached, the paper's
+    /// baseline machine).
+    pub cache_mb: u64,
 }
 
 impl FftConfig {
@@ -66,6 +69,7 @@ impl FftConfig {
             stored: false,
             mem_per_proc: 16 << 20,
             transpose_only: false,
+            cache_mb: 0,
         }
     }
 
@@ -77,9 +81,12 @@ impl FftConfig {
     }
 
     fn machine(&self) -> MachineConfig {
-        presets::paragon_small()
-            .with_compute_nodes(self.procs)
-            .with_io_nodes(self.io_nodes)
+        crate::common::with_cache_mb(
+            presets::paragon_small()
+                .with_compute_nodes(self.procs)
+                .with_io_nodes(self.io_nodes),
+            self.cache_mb,
+        )
     }
 
     /// Column range owned by `rank` (block partition with remainder

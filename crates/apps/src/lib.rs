@@ -13,4 +13,4 @@ pub mod dsp;
 pub mod fft;
 pub mod scf30;
 
-pub use common::{run_ranks, AppCtx, RunResult};
+pub use common::{run_ranks, with_cache_mb, AppCtx, RunResult};

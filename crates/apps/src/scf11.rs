@@ -122,6 +122,8 @@ pub struct Scf11Config {
     pub read_iterations: u32,
     /// Scale factor on volume and compute, for cheap test runs.
     pub scale: f64,
+    /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
+    pub cache_mb: u64,
 }
 
 impl Scf11Config {
@@ -136,6 +138,7 @@ impl Scf11Config {
             io_nodes: 12,
             read_iterations: 15,
             scale: 1.0,
+            cache_mb: 0,
         }
     }
 
@@ -185,10 +188,13 @@ const FLUSH_EVERY: u64 = 1000;
 
 /// Run SCF 1.1 under `cfg` and return the measurements.
 pub fn run(cfg: &Scf11Config) -> Scf11Result {
-    let mcfg = presets::paragon_large()
-        .with_compute_nodes(cfg.procs.max(1))
-        .with_io_nodes(cfg.io_nodes)
-        .with_stripe_unit(cfg.stripe_unit_kb << 10);
+    let mcfg = crate::common::with_cache_mb(
+        presets::paragon_large()
+            .with_compute_nodes(cfg.procs.max(1))
+            .with_io_nodes(cfg.io_nodes)
+            .with_stripe_unit(cfg.stripe_unit_kb << 10),
+        cfg.cache_mb,
+    );
     let fg_io: Rc<RefCell<Vec<SimDuration>>> = Rc::new(RefCell::new(Vec::new()));
     let fg_io2 = Rc::clone(&fg_io);
     let cfg2 = cfg.clone();

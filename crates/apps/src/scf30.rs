@@ -47,6 +47,8 @@ pub struct Scf30Config {
     pub read_iterations: u32,
     /// Scale factor on volume and compute, for cheap test runs.
     pub scale: f64,
+    /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
+    pub cache_mb: u64,
 }
 
 impl Scf30Config {
@@ -62,6 +64,7 @@ impl Scf30Config {
             prefetch: true,
             read_iterations: 15,
             scale: 1.0,
+            cache_mb: 0,
         }
     }
 }
@@ -92,9 +95,12 @@ pub struct Scf30Result {
 
 /// Run SCF 3.0 under `cfg`.
 pub fn run(cfg: &Scf30Config) -> Scf30Result {
-    let mcfg = presets::paragon_large()
-        .with_compute_nodes(cfg.procs.max(1))
-        .with_io_nodes(cfg.io_nodes);
+    let mcfg = crate::common::with_cache_mb(
+        presets::paragon_large()
+            .with_compute_nodes(cfg.procs.max(1))
+            .with_io_nodes(cfg.io_nodes),
+        cfg.cache_mb,
+    );
     let moved: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
     let moved2 = Rc::clone(&moved);
     let cfg2 = cfg.clone();

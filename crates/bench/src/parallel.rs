@@ -2,7 +2,7 @@
 //!
 //! Every simulation is single-threaded and independent, so sweeps over
 //! machine configurations parallelize across host threads with
-//! `crossbeam::scope`. Results come back in input order.
+//! `std::thread::scope`. Results come back in input order.
 
 /// Map `f` over `items` using up to `max_threads` host threads, returning
 /// results in input order.
@@ -21,22 +21,19 @@ where
         return items.iter().map(&f).collect();
     }
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (chunk_idx, (item_chunk, slot_chunk)) in items
+    std::thread::scope(|scope| {
+        for (item_chunk, slot_chunk) in items
             .chunks(n.div_ceil(threads))
             .zip(slots.chunks_mut(n.div_ceil(threads)))
-            .enumerate()
         {
             let f = &f;
-            let _ = chunk_idx;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))

@@ -1,0 +1,732 @@
+//! # iosim-cache — per-I/O-node buffer-cache model
+//!
+//! The paper's I/O-node daemons keep a block cache in front of each disk;
+//! this crate models that layer as a *timing* cache. Actual file bytes
+//! live in the PFS file state and are always kept consistent
+//! synchronously — the cache only decides *when* a stripe-unit request
+//! completes and which disk traffic it induces:
+//!
+//! - **Block-granular LRU read cache.** Requests are split into
+//!   cache blocks (default: the machine's stripe unit). Resident blocks
+//!   are served at memory speed (a fixed lookup overhead plus a
+//!   copy at `mem_bandwidth_bps`); missing blocks are fetched from the
+//!   disk queue as coalesced extents, so a multi-block miss pays one
+//!   positioning cost, not one per block.
+//! - **Write-behind.** Writes complete once the data is in cache memory
+//!   and are written back later: by a flush daemon that wakes when the
+//!   dirty-block count crosses a high-water mark and drains it to the
+//!   low-water mark in background batches, by dirty evictions (which
+//!   stall the writer — the model's throttle when the cache is
+//!   overwhelmed), or by an explicit [`BufferCache::flush_file`].
+//! - **Sequential read-ahead.** When a file is read sequentially, the
+//!   next `read_ahead_blocks` blocks are fetched speculatively after the
+//!   demand miss; a later request overlapping an in-flight prefetch
+//!   waits only for its completion (and is counted as a read-ahead hit).
+//!
+//! Every decision is deterministic: LRU order is kept in a
+//! [`BTreeMap`] over a monotonic access tick (never iterate the block
+//! [`HashMap`] — its order is not deterministic), disk bookings use the
+//! shared per-node FIFO [`Resource`] queues, and the flush daemon is a
+//! short-lived simulation task that always terminates (so the executor
+//! never leaks it).
+//!
+//! Policy and sizing come from [`iosim_machine::CacheParams`] on the
+//! machine config; [`BufferCache::new`] returns `None` under
+//! [`CachePolicy::None`], which lets the PFS keep its original
+//! uncached path byte-for-byte.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use iosim_machine::{CacheParams, Machine};
+use iosim_simkit::time::{SimDuration, SimTime};
+use iosim_trace::CacheCounters;
+
+/// A cached block is identified by (file uid, block index within the
+/// I/O node's local byte space).
+type BlockKey = (u64, u64);
+
+/// Per-block state.
+#[derive(Clone, Copy, Debug)]
+struct Block {
+    /// When the block's contents are available in cache memory (later
+    /// than "now" only while a fetch or prefetch is still in flight).
+    ready_at: SimTime,
+    /// Dirty blocks hold write-behind data not yet on disk.
+    dirty: bool,
+    /// This block's entry in the LRU index.
+    tick: u64,
+}
+
+/// State of one I/O node's cache.
+#[derive(Default)]
+struct NodeCache {
+    blocks: HashMap<BlockKey, Block>,
+    /// LRU index: access tick -> block key. Ticks are unique and
+    /// monotonic, so the first entry is always the LRU victim and
+    /// iteration order is deterministic.
+    lru: BTreeMap<u64, BlockKey>,
+    next_tick: u64,
+    dirty: usize,
+    /// Disk head tracking for cache-issued transfers, mirroring the
+    /// PFS convention: end offset of the previous access per file.
+    disk_pos: Option<(u64, u64)>,
+    /// Expected (uid, block) of the next sequential read, for
+    /// read-ahead trigger detection.
+    next_seq: Option<(u64, u64)>,
+    /// Whether a flush daemon task is currently draining this node.
+    flushing: bool,
+}
+
+impl NodeCache {
+    fn touch(&mut self, key: BlockKey) {
+        if let Some(b) = self.blocks.get_mut(&key) {
+            self.lru.remove(&b.tick);
+            b.tick = self.next_tick;
+            self.lru.insert(self.next_tick, key);
+            self.next_tick += 1;
+        }
+    }
+
+    /// Head position for a transfer on `uid` (None = seek: cold head or
+    /// a different file was accessed last).
+    fn prev_end(&self, uid: u64) -> Option<u64> {
+        match self.disk_pos {
+            Some((u, end)) if u == uid => Some(end),
+            _ => None,
+        }
+    }
+}
+
+/// A contiguous run of missing blocks, coalesced into one disk transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Extent {
+    first_block: u64,
+    count: u64,
+}
+
+/// The buffer-cache model shared by all files on a machine. One
+/// [`NodeCache`] per I/O node; timing flows through the machine's disk
+/// queues, counters through the shared [`CacheCounters`].
+pub struct BufferCache {
+    machine: Rc<Machine>,
+    counters: CacheCounters,
+    params: CacheParams,
+    /// Resolved block size in bytes (params.block_bytes, or the
+    /// machine's default stripe unit when 0).
+    block: u64,
+    /// Capacity in blocks (>= 1).
+    cap_blocks: usize,
+    /// Dirty-block count that wakes the flush daemon.
+    high_water: usize,
+    /// Dirty-block count at which the daemon stops draining.
+    low_water: usize,
+    nodes: Vec<RefCell<NodeCache>>,
+}
+
+/// Cap on blocks written back per daemon batch, so a drain is a series
+/// of bounded disk bookings interleaved with simulated waiting rather
+/// than one giant reservation.
+const FLUSH_BATCH_BLOCKS: usize = 64;
+
+impl BufferCache {
+    /// Build the cache for `machine` according to its configured
+    /// [`CacheParams`]. Returns `None` under [`CachePolicy::None`] so
+    /// callers keep the uncached code path untouched.
+    pub fn new(machine: &Rc<Machine>, counters: CacheCounters) -> Option<Rc<BufferCache>> {
+        let params = machine.cfg().cache;
+        if !params.enabled() {
+            return None;
+        }
+        let block = if params.block_bytes == 0 {
+            machine.cfg().default_stripe_unit.max(1)
+        } else {
+            params.block_bytes
+        };
+        let cap_blocks = ((params.capacity_bytes / block) as usize).max(1);
+        let high_water = ((params.dirty_high_water * cap_blocks as f64).ceil() as usize)
+            .clamp(1, cap_blocks);
+        let low_water = high_water / 2;
+        let nodes = (0..machine.io_nodes())
+            .map(|_| RefCell::new(NodeCache::default()))
+            .collect();
+        Some(Rc::new(BufferCache {
+            machine: Rc::clone(machine),
+            counters,
+            params,
+            block,
+            cap_blocks,
+            high_water,
+            low_water,
+            nodes,
+        }))
+    }
+
+    /// The active policy parameters.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Resolved cache block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block
+    }
+
+    /// Capacity in blocks per I/O node.
+    pub fn capacity_blocks(&self) -> usize {
+        self.cap_blocks
+    }
+
+    /// Resident block count at `node` (tests / diagnostics).
+    pub fn resident_blocks(&self, node: usize) -> usize {
+        self.nodes[node].borrow().blocks.len()
+    }
+
+    /// Dirty block count at `node` (tests / diagnostics).
+    pub fn dirty_blocks(&self, node: usize) -> usize {
+        self.nodes[node].borrow().dirty
+    }
+
+    /// Whether block `idx` of file `uid` is resident at `node`.
+    pub fn contains(&self, node: usize, uid: u64, idx: u64) -> bool {
+        self.nodes[node].borrow().blocks.contains_key(&(uid, idx))
+    }
+
+    fn mem_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.params.mem_bandwidth_bps)
+    }
+
+    /// Book one coalesced disk transfer at `node` and update the
+    /// cache-side head position. Returns the booked (start, end).
+    fn book_disk(
+        &self,
+        n: &mut NodeCache,
+        node: usize,
+        uid: u64,
+        offset: u64,
+        bytes: u64,
+        arrival: SimTime,
+    ) -> (SimTime, SimTime) {
+        let svc =
+            self.machine
+                .disk_service_positioned(node, n.prev_end(uid), offset, bytes);
+        let booked = self.machine.io_queue(node).reserve_at(arrival, svc);
+        n.disk_pos = Some((uid, offset + bytes));
+        booked
+    }
+
+    /// Evict the LRU victim at `node`. A dirty victim is written back
+    /// first; its disk completion time is returned so callers can model
+    /// the writer stalling behind the writeback.
+    fn evict_one(&self, n: &mut NodeCache, node: usize, arrival: SimTime) -> Option<SimTime> {
+        let (&tick, &(uid, idx)) = n.lru.iter().next()?;
+        n.lru.remove(&tick);
+        let victim = n.blocks.remove(&(uid, idx))?;
+        self.counters.add_evictions(1);
+        if victim.dirty {
+            n.dirty -= 1;
+            let (_, end) = self.book_disk(n, node, uid, idx * self.block, self.block, arrival);
+            self.counters.add_flushed(1);
+            Some(end)
+        } else {
+            None
+        }
+    }
+
+    /// Insert (or refresh) a block, evicting as needed. Returns the
+    /// latest writeback completion among any dirty victims.
+    fn insert_block(
+        &self,
+        n: &mut NodeCache,
+        node: usize,
+        key: BlockKey,
+        ready_at: SimTime,
+        dirty: bool,
+        arrival: SimTime,
+    ) -> Option<SimTime> {
+        if let Some(b) = n.blocks.get_mut(&key) {
+            if dirty && !b.dirty {
+                n.dirty += 1;
+            }
+            b.dirty |= dirty;
+            b.ready_at = b.ready_at.max(ready_at);
+            n.touch(key);
+            return None;
+        }
+        let mut stall = None;
+        while n.blocks.len() >= self.cap_blocks {
+            if let Some(end) = self.evict_one(n, node, arrival) {
+                stall = Some(stall.map_or(end, |s: SimTime| s.max(end)));
+            }
+        }
+        let tick = n.next_tick;
+        n.next_tick += 1;
+        n.blocks.insert(
+            key,
+            Block {
+                ready_at,
+                dirty,
+                tick,
+            },
+        );
+        n.lru.insert(tick, key);
+        if dirty {
+            n.dirty += 1;
+        }
+        stall
+    }
+
+    /// Group a sorted list of missing block indices into contiguous
+    /// extents so each seek is paid once per run, not once per block.
+    fn coalesce(missing: &[u64]) -> Vec<Extent> {
+        let mut extents: Vec<Extent> = Vec::new();
+        for &b in missing {
+            match extents.last_mut() {
+                Some(e) if e.first_block + e.count == b => e.count += 1,
+                _ => extents.push(Extent {
+                    first_block: b,
+                    count: 1,
+                }),
+            }
+        }
+        extents
+    }
+
+    /// Serve a read of `[offset, offset + bytes)` in file `uid`'s local
+    /// byte space at I/O node `node`. Returns the completion time at the
+    /// I/O node (before the network response leg).
+    pub fn read(
+        self: &Rc<Self>,
+        node: usize,
+        uid: u64,
+        offset: u64,
+        bytes: u64,
+        arrival: SimTime,
+    ) -> SimTime {
+        let bytes = bytes.max(1);
+        let b0 = offset / self.block;
+        let b1 = (offset + bytes - 1) / self.block;
+        let mut n = self.nodes[node].borrow_mut();
+
+        let mut done = arrival;
+        let mut hits = 0u64;
+        let mut ra_hits = 0u64;
+        let mut missing: Vec<u64> = Vec::new();
+        for b in b0..=b1 {
+            match n.blocks.get(&(uid, b)).map(|blk| blk.ready_at) {
+                Some(ready_at) => {
+                    hits += 1;
+                    if ready_at > arrival {
+                        // Still in flight (a read-ahead racing us):
+                        // wait for it rather than fetching again.
+                        ra_hits += 1;
+                        done = done.max(ready_at);
+                    }
+                    n.touch((uid, b));
+                }
+                None => missing.push(b),
+            }
+        }
+
+        let extents = Self::coalesce(&missing);
+        for e in &extents {
+            let off = e.first_block * self.block;
+            let len = e.count * self.block;
+            let (_, end) = self.book_disk(&mut n, node, uid, off, len, arrival);
+            done = done.max(end);
+            for i in 0..e.count {
+                self.insert_block(&mut n, node, (uid, e.first_block + i), end, false, arrival);
+            }
+        }
+        self.counters.add_hits(hits);
+        self.counters.add_misses(missing.len() as u64);
+        self.counters.add_readahead_hits(ra_hits);
+
+        // Sequential read-ahead: if this request continues the previous
+        // one, speculatively fetch the next blocks after the demand work.
+        let sequential = n.next_seq == Some((uid, b0));
+        n.next_seq = Some((uid, b1 + 1));
+        if sequential && self.params.read_ahead_blocks > 0 {
+            let ra: Vec<u64> = (b1 + 1..=b1 + self.params.read_ahead_blocks as u64)
+                .filter(|&b| !n.blocks.contains_key(&(uid, b)))
+                .collect();
+            if !ra.is_empty() {
+                self.counters.add_readahead_issued(ra.len() as u64);
+                for e in Self::coalesce(&ra) {
+                    let off = e.first_block * self.block;
+                    let len = e.count * self.block;
+                    let (_, end) = self.book_disk(&mut n, node, uid, off, len, arrival);
+                    for i in 0..e.count {
+                        self.insert_block(
+                            &mut n,
+                            node,
+                            (uid, e.first_block + i),
+                            end,
+                            false,
+                            arrival,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Cache lookup overhead plus the memory copy out to the network
+        // buffer, paid on the full request.
+        done + self.params.hit_overhead + self.mem_time(bytes)
+    }
+
+    /// Serve a write of `[offset, offset + bytes)` in file `uid`'s local
+    /// byte space at I/O node `node`. Under write-behind the write
+    /// completes at memory speed and the blocks turn dirty; otherwise
+    /// the transfer is booked on the disk queue like the uncached path
+    /// (write-through), with the blocks cached clean for later reads.
+    pub fn write(
+        self: &Rc<Self>,
+        node: usize,
+        uid: u64,
+        offset: u64,
+        bytes: u64,
+        arrival: SimTime,
+    ) -> SimTime {
+        let bytes = bytes.max(1);
+        let b0 = offset / self.block;
+        let b1 = (offset + bytes - 1) / self.block;
+        let mut n = self.nodes[node].borrow_mut();
+
+        if !self.params.write_behind {
+            // Write-through: disk timing identical in shape to the
+            // uncached path (exact byte extent, head-position aware),
+            // but the written blocks stay resident for readers.
+            let (_, end) = self.book_disk(&mut n, node, uid, offset, bytes, arrival);
+            for b in b0..=b1 {
+                self.insert_block(&mut n, node, (uid, b), end, false, arrival);
+            }
+            return end;
+        }
+
+        let mut done = arrival + self.params.hit_overhead + self.mem_time(bytes);
+        for b in b0..=b1 {
+            if let Some(stall) = self.insert_block(&mut n, node, (uid, b), done, true, arrival) {
+                // The cache was full of dirty data: the writer stalls
+                // behind the eviction writeback.
+                done = done.max(stall);
+            }
+        }
+        self.counters.add_writes_absorbed(b1 - b0 + 1);
+
+        if n.dirty >= self.high_water && !n.flushing {
+            n.flushing = true;
+            self.counters.add_flush_wakeup();
+            drop(n);
+            self.spawn_flusher(node);
+        }
+        done
+    }
+
+    /// Spawn a short-lived flush-daemon task that drains `node`'s dirty
+    /// blocks down to the low-water mark in background batches. The task
+    /// always terminates (each batch strictly reduces the dirty count),
+    /// so it cannot pin the executor.
+    fn spawn_flusher(self: &Rc<Self>, node: usize) {
+        let cache = Rc::clone(self);
+        let handle = self.machine.handle().clone();
+        // Dropping the JoinHandle detaches the task; it keeps running.
+        drop(self.machine.handle().spawn(async move {
+            loop {
+                let now = handle.now();
+                match cache.flush_batch(node, now) {
+                    Some(end) => handle.sleep_until(end).await,
+                    None => break,
+                }
+            }
+        }));
+    }
+
+    /// Write back one daemon batch of LRU-ordered dirty blocks at
+    /// `node`. Returns the batch's disk completion time, or `None` once
+    /// the dirty count is at/below the low-water mark (clearing the
+    /// `flushing` flag).
+    fn flush_batch(&self, node: usize, now: SimTime) -> Option<SimTime> {
+        let mut n = self.nodes[node].borrow_mut();
+        if n.dirty <= self.low_water {
+            n.flushing = false;
+            return None;
+        }
+        let want = (n.dirty - self.low_water).min(FLUSH_BATCH_BLOCKS);
+        // LRU-ordered dirty victims; deterministic because the BTreeMap
+        // index, not the HashMap, drives iteration.
+        let batch: Vec<BlockKey> = n
+            .lru
+            .values()
+            .filter(|key| n.blocks[key].dirty)
+            .take(want)
+            .copied()
+            .collect();
+        let end = self.writeback(&mut n, node, &batch, now);
+        Some(end)
+    }
+
+    /// Write back the given dirty blocks (marking them clean in place),
+    /// coalescing per-file contiguous runs. Returns the latest disk
+    /// completion.
+    fn writeback(
+        &self,
+        n: &mut NodeCache,
+        node: usize,
+        keys: &[BlockKey],
+        arrival: SimTime,
+    ) -> SimTime {
+        let mut sorted: Vec<BlockKey> = keys.to_vec();
+        sorted.sort_unstable();
+        let mut done = arrival;
+        let mut i = 0;
+        while i < sorted.len() {
+            let (uid, first) = sorted[i];
+            let mut count = 1u64;
+            while i + (count as usize) < sorted.len()
+                && sorted[i + count as usize] == (uid, first + count)
+            {
+                count += 1;
+            }
+            let (_, end) =
+                self.book_disk(n, node, uid, first * self.block, count * self.block, arrival);
+            done = done.max(end);
+            for j in 0..count {
+                if let Some(b) = n.blocks.get_mut(&(uid, first + j)) {
+                    if b.dirty {
+                        b.dirty = false;
+                        n.dirty -= 1;
+                    }
+                }
+            }
+            self.counters.add_flushed(count);
+            i += count as usize;
+        }
+        done
+    }
+
+    /// Synchronously write back every dirty block of file `uid` (all
+    /// nodes). Returns the completion time of the slowest writeback
+    /// (`arrival` if nothing was dirty). Used by `FileHandle::flush`.
+    pub fn flush_file(self: &Rc<Self>, uid: u64, arrival: SimTime) -> SimTime {
+        let mut done = arrival;
+        for node in 0..self.nodes.len() {
+            let mut n = self.nodes[node].borrow_mut();
+            let dirty: Vec<BlockKey> = n
+                .lru
+                .values()
+                .filter(|&&(u, _)| u == uid)
+                .filter(|key| n.blocks[key].dirty)
+                .copied()
+                .collect();
+            if dirty.is_empty() {
+                continue;
+            }
+            done = done.max(self.writeback(&mut n, node, &dirty, arrival));
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim_machine::{presets, CachePolicy};
+    use iosim_simkit::executor::Sim;
+
+    const BLOCK: u64 = 1024;
+
+    /// A single-I/O-node machine with the given cache parameters.
+    fn rig(params: CacheParams) -> (Sim, Rc<BufferCache>, CacheCounters) {
+        let sim = Sim::new();
+        let cfg = presets::paragon_small().with_io_nodes(1).with_cache(params);
+        let machine = iosim_machine::Machine::new(sim.handle(), cfg);
+        let counters = CacheCounters::new();
+        let cache = BufferCache::new(&machine, counters.clone()).expect("cache enabled");
+        (sim, cache, counters)
+    }
+
+    #[test]
+    fn none_policy_builds_no_cache() {
+        let sim = Sim::new();
+        let machine = iosim_machine::Machine::new(sim.handle(), presets::paragon_small());
+        assert_eq!(machine.cfg().cache.policy, CachePolicy::None);
+        assert!(BufferCache::new(&machine, CacheCounters::new()).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_in_access_order() {
+        // Two-block cache: after touching 0, reading 2 must evict 1.
+        let params = CacheParams::lru(2 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        let (_sim, cache, counters) = rig(params);
+        let t0 = SimTime::ZERO;
+        let uid = 7;
+        cache.read(0, uid, 0, BLOCK, t0); // miss: {0}
+        cache.read(0, uid, BLOCK, BLOCK, t0); // miss: {0, 1}
+        cache.read(0, uid, 0, BLOCK, t0); // hit, 0 becomes MRU
+        cache.read(0, uid, 2 * BLOCK, BLOCK, t0); // miss: evicts 1
+        assert!(cache.contains(0, uid, 0));
+        assert!(!cache.contains(0, uid, 1));
+        assert!(cache.contains(0, uid, 2));
+        let s = counters.snapshot();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn repeated_reads_hit_and_get_faster() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        let (_sim, cache, counters) = rig(params);
+        let cold = cache.read(0, 1, 0, 4 * BLOCK, SimTime::ZERO);
+        let t1 = cold; // re-read after the fetch has landed
+        let warm = cache.read(0, 1, 0, 4 * BLOCK, t1);
+        assert!(
+            warm - t1 < cold - SimTime::ZERO,
+            "warm read {warm:?} from {t1:?} should beat cold {cold:?}"
+        );
+        let s = counters.snapshot();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 4);
+    }
+
+    #[test]
+    fn write_behind_flush_daemon_drains_to_low_water() {
+        let mut params = CacheParams::lru(8 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        params.dirty_high_water = 0.5; // high = 4, low = 2
+        let (mut sim, cache, counters) = rig(params);
+        for b in 0..4u64 {
+            cache.write(0, 3, b * BLOCK, BLOCK, SimTime::ZERO);
+        }
+        assert_eq!(cache.dirty_blocks(0), 4);
+        let s = counters.snapshot();
+        assert_eq!(s.flush_wakeups, 1);
+        assert_eq!(s.writes_absorbed, 4);
+        sim.run(); // let the daemon drain
+        let s = counters.snapshot();
+        assert!(cache.dirty_blocks(0) <= 2, "drained to low water");
+        assert!(s.flushed_blocks >= 2);
+        // The daemon wrote back, it did not evict: blocks stay resident.
+        assert_eq!(cache.resident_blocks(0), 4);
+    }
+
+    #[test]
+    fn dirty_eviction_stalls_the_writer() {
+        // Tiny cache, high water at capacity: evictions (not the
+        // daemon) force writebacks, stalling the writer to disk speed.
+        let mut params = CacheParams::lru(2 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        params.dirty_high_water = 1.0;
+        let (_sim, cache, counters) = rig(params);
+        let fast = cache.write(0, 5, 0, BLOCK, SimTime::ZERO);
+        cache.write(0, 5, BLOCK, BLOCK, SimTime::ZERO);
+        let stalled = cache.write(0, 5, 2 * BLOCK, BLOCK, SimTime::ZERO);
+        assert!(
+            stalled > fast + SimDuration::from_millis(1),
+            "third write ({stalled:?}) must wait for a dirty writeback; \
+             unforced write finished at {fast:?}"
+        );
+        let s = counters.snapshot();
+        assert!(s.evictions >= 1);
+        assert!(s.flushed_blocks >= 1);
+    }
+
+    #[test]
+    fn sequential_reads_trigger_read_ahead_and_score_hits() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(2);
+        let (_sim, cache, counters) = rig(params);
+        let uid = 9;
+        let t0 = SimTime::ZERO;
+        cache.read(0, uid, 0, BLOCK, t0); // miss; first read is not "sequential"
+        assert_eq!(counters.snapshot().readahead_issued, 0);
+        cache.read(0, uid, BLOCK, BLOCK, t0); // sequential: prefetch blocks 2, 3
+        assert_eq!(counters.snapshot().readahead_issued, 2);
+        assert!(cache.contains(0, uid, 2));
+        assert!(cache.contains(0, uid, 3));
+        // Arriving before the prefetch lands counts as a timely
+        // read-ahead hit and waits for the in-flight fetch.
+        let done = cache.read(0, uid, 2 * BLOCK, BLOCK, t0);
+        let s = counters.snapshot();
+        assert_eq!(s.readahead_hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!(done > t0);
+    }
+
+    #[test]
+    fn random_reads_do_not_prefetch() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(2);
+        let (_sim, cache, counters) = rig(params);
+        cache.read(0, 2, 10 * BLOCK, BLOCK, SimTime::ZERO);
+        cache.read(0, 2, 5 * BLOCK, BLOCK, SimTime::ZERO);
+        cache.read(0, 2, 20 * BLOCK, BLOCK, SimTime::ZERO);
+        assert_eq!(counters.snapshot().readahead_issued, 0);
+    }
+
+    #[test]
+    fn write_through_mode_keeps_blocks_clean_but_readable() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0)
+            .with_write_behind(false);
+        let (_sim, cache, counters) = rig(params);
+        let end = cache.write(0, 4, 0, BLOCK, SimTime::ZERO);
+        assert!(end > SimTime::ZERO + SimDuration::from_millis(1), "paid the disk");
+        assert_eq!(cache.dirty_blocks(0), 0);
+        assert_eq!(counters.snapshot().writes_absorbed, 0);
+        cache.read(0, 4, 0, BLOCK, end);
+        let s = counters.snapshot();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn flush_file_writes_back_all_dirty_blocks() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        let (_sim, cache, counters) = rig(params);
+        cache.write(0, 6, 0, 2 * BLOCK, SimTime::ZERO);
+        assert_eq!(cache.dirty_blocks(0), 2);
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        let done = cache.flush_file(6, t);
+        assert!(done > t);
+        assert_eq!(cache.dirty_blocks(0), 0);
+        assert_eq!(counters.snapshot().flushed_blocks, 2);
+        // Idempotent: nothing left to write.
+        assert_eq!(cache.flush_file(6, done), done);
+    }
+
+    #[test]
+    fn miss_extents_coalesce() {
+        assert_eq!(
+            BufferCache::coalesce(&[0, 1, 2, 5, 6, 9]),
+            vec![
+                Extent {
+                    first_block: 0,
+                    count: 3
+                },
+                Extent {
+                    first_block: 5,
+                    count: 2
+                },
+                Extent {
+                    first_block: 9,
+                    count: 1
+                },
+            ]
+        );
+        assert!(BufferCache::coalesce(&[]).is_empty());
+    }
+}

@@ -140,7 +140,6 @@ impl SemiDirect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn already_balanced_needs_no_moves() {
@@ -195,7 +194,12 @@ mod tests {
         assert!(f_half < f_none / 2.0 + 1e-9);
     }
 
-    proptest! {
+    #[cfg(feature = "heavy-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn balance_preserves_total_and_converges(
             sizes in proptest::collection::vec(0u64..10_000_000, 1..20),
@@ -213,6 +217,7 @@ mod tests {
             }
             // Bounded number of moves (each strictly reduces imbalance).
             prop_assert!(moves.len() <= sizes.len() * 64);
+        }
         }
     }
 }

@@ -578,6 +578,7 @@ mod tests {
         assert_eq!(seg8[0].1 * 2, seg16[0].1);
     }
 
+    #[cfg(feature = "heavy-tests")]
     mod proptests {
         use super::*;
         use proptest::prelude::*;

@@ -118,6 +118,119 @@ pub struct InterfaceCosts {
     pub flush: SimDuration,
 }
 
+/// Buffer-cache replacement policy of an I/O node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No cache: every request is serviced by the disk queue directly.
+    /// This reproduces the pre-cache service path bit-for-bit.
+    None,
+    /// Block-granular LRU with optional write-behind and read-ahead.
+    Lru,
+}
+
+/// Per-I/O-node buffer-cache parameters (see DESIGN.md §12).
+///
+/// These are plain data; the timing model lives in the `iosim-cache`
+/// crate. With `policy == CachePolicy::None` every other field is
+/// ignored and the file-system layer takes the legacy disk-only path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheParams {
+    /// Replacement policy.
+    pub policy: CachePolicy,
+    /// Cache capacity per I/O node, bytes.
+    pub capacity_bytes: u64,
+    /// Cache block size, bytes; `0` means "use the machine's default
+    /// stripe unit" (one cache block per stripe unit, the natural grain).
+    pub block_bytes: u64,
+    /// Fixed per-request overhead of the cache lookup/copy path at the
+    /// I/O node (file-system server CPU).
+    pub hit_overhead: SimDuration,
+    /// I/O-node memory bandwidth for cache-to-network copies, bytes/s.
+    pub mem_bandwidth_bps: f64,
+    /// Absorb writes into the cache and write them back asynchronously
+    /// (write-behind). When `false`, writes go through to disk and the
+    /// written blocks are inserted clean (write-through with allocation).
+    pub write_behind: bool,
+    /// Dirty-block high-water mark as a fraction of capacity in `(0, 1]`;
+    /// crossing it wakes the background flush daemon.
+    pub dirty_high_water: f64,
+    /// Sequential read-ahead depth in blocks (0 disables read-ahead).
+    pub read_ahead_blocks: usize,
+}
+
+impl CacheParams {
+    /// No cache (the default for every paper-calibrated preset).
+    pub fn none() -> CacheParams {
+        CacheParams {
+            policy: CachePolicy::None,
+            capacity_bytes: 0,
+            block_bytes: 0,
+            hit_overhead: SimDuration::ZERO,
+            mem_bandwidth_bps: 1.0,
+            write_behind: false,
+            dirty_high_water: 1.0,
+            read_ahead_blocks: 0,
+        }
+    }
+
+    /// An LRU cache of `capacity_bytes` per I/O node with era-appropriate
+    /// defaults: stripe-unit blocks, 200 µs lookup overhead, 80 MB/s
+    /// node-memory bandwidth, write-behind at a 75 % dirty high water,
+    /// and 2 blocks of sequential read-ahead.
+    pub fn lru(capacity_bytes: u64) -> CacheParams {
+        CacheParams {
+            policy: CachePolicy::Lru,
+            capacity_bytes,
+            block_bytes: 0,
+            hit_overhead: SimDuration::from_micros(200),
+            mem_bandwidth_bps: 80.0e6,
+            write_behind: true,
+            dirty_high_water: 0.75,
+            read_ahead_blocks: 2,
+        }
+    }
+
+    /// Builder-style: set the read-ahead depth.
+    pub fn with_read_ahead(mut self, blocks: usize) -> CacheParams {
+        self.read_ahead_blocks = blocks;
+        self
+    }
+
+    /// Builder-style: enable or disable write-behind.
+    pub fn with_write_behind(mut self, on: bool) -> CacheParams {
+        self.write_behind = on;
+        self
+    }
+
+    /// Builder-style: set the cache block size.
+    pub fn with_block_bytes(mut self, bytes: u64) -> CacheParams {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Whether a cache model is active.
+    pub fn enabled(&self) -> bool {
+        self.policy != CachePolicy::None
+    }
+
+    /// Validate (policy `None` is always valid).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        if self.capacity_bytes == 0 {
+            return Err("cache capacity must be positive".into());
+        }
+        if self.mem_bandwidth_bps <= 0.0 || self.mem_bandwidth_bps.is_nan() {
+            return Err("cache memory bandwidth must be positive".into());
+        }
+        if !(self.dirty_high_water > 0.0 && self.dirty_high_water <= 1.0) {
+            return Err("dirty high water must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
 /// The three client interfaces evaluated in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Interface {
@@ -154,6 +267,9 @@ pub struct MachineConfig {
     pub net: NetParams,
     /// Default file-system stripe unit, bytes (PFS: 64 KB, PIOFS: 32 KB).
     pub default_stripe_unit: u64,
+    /// Per-I/O-node buffer-cache model. `CacheParams::none()` (the preset
+    /// default) reproduces the uncached service path bit-for-bit.
+    pub cache: CacheParams,
     /// Fortran interface costs.
     pub fortran: InterfaceCosts,
     /// UNIX-style interface costs.
@@ -225,6 +341,18 @@ impl MachineConfig {
         self.io_node_speed.get(idx).copied().unwrap_or(1.0)
     }
 
+    /// Builder-style: set the I/O-node buffer-cache parameters.
+    pub fn with_cache(mut self, cache: CacheParams) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Builder-style: enable an LRU buffer cache of `capacity_bytes` per
+    /// I/O node with default policy knobs (see [`CacheParams::lru`]).
+    pub fn with_lru_cache(self, capacity_bytes: u64) -> Self {
+        self.with_cache(CacheParams::lru(capacity_bytes))
+    }
+
     /// Builder-style: switch the disks to the detailed geometric model.
     pub fn with_disk_geometry(mut self, geometry: crate::disk::DiskGeometry) -> Self {
         self.disk_geometry = Some(geometry);
@@ -268,6 +396,7 @@ impl MachineConfig {
         if self.io_node_speed.iter().any(|&s| s <= 0.0 || s.is_nan()) {
             return Err("I/O-node speed factors must be positive".into());
         }
+        self.cache.validate()?;
         Ok(())
     }
 }
@@ -358,6 +487,53 @@ mod tests {
         let _ = presets::paragon_small()
             .with_io_nodes(2)
             .with_degraded_io_node(5, 0.5);
+    }
+
+    #[test]
+    fn presets_default_to_no_cache() {
+        for cfg in [presets::paragon_large(), presets::paragon_small(), presets::sp2()] {
+            assert_eq!(cfg.cache.policy, CachePolicy::None, "{}", cfg.name);
+            assert!(!cfg.cache.enabled());
+        }
+    }
+
+    #[test]
+    fn cache_builder_and_validation() {
+        let m = presets::paragon_small().with_lru_cache(4 << 20);
+        assert_eq!(m.cache.policy, CachePolicy::Lru);
+        assert_eq!(m.cache.capacity_bytes, 4 << 20);
+        assert!(m.validate().is_ok());
+
+        let mut bad = m.clone();
+        bad.cache.capacity_bytes = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = m.clone();
+        bad.cache.dirty_high_water = 0.0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = m;
+        bad.cache.mem_bandwidth_bps = -1.0;
+        assert!(bad.validate().is_err());
+
+        // None policy ignores degenerate knobs entirely.
+        let mut none = presets::paragon_small();
+        none.cache = CacheParams::none();
+        none.cache.capacity_bytes = 0;
+        assert!(none.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_param_builders_compose() {
+        let p = CacheParams::lru(1 << 20)
+            .with_read_ahead(4)
+            .with_write_behind(false)
+            .with_block_bytes(8 << 10);
+        assert_eq!(p.read_ahead_blocks, 4);
+        assert!(!p.write_behind);
+        assert_eq!(p.block_bytes, 8 << 10);
+        assert!(p.enabled());
+        assert!(!CacheParams::none().enabled());
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub mod presets;
 pub mod topology;
 
 pub use config::{
-    CpuParams, DiskParams, Interface, InterfaceCosts, MachineConfig, MeshDims, NetParams,
+    CacheParams, CachePolicy, CpuParams, DiskParams, Interface, InterfaceCosts, MachineConfig,
+    MeshDims, NetParams,
 };
 pub use disk::DiskGeometry;
 pub use machine::Machine;

@@ -20,7 +20,7 @@
 use iosim_simkit::time::SimDuration;
 
 use crate::config::{
-    CpuParams, DiskParams, InterfaceCosts, MachineConfig, MeshDims, NetParams,
+    CacheParams, CpuParams, DiskParams, InterfaceCosts, MachineConfig, MeshDims, NetParams,
 };
 
 fn ms(x: u64) -> SimDuration {
@@ -100,6 +100,7 @@ pub fn paragon_large() -> MachineConfig {
         passion: paragon_passion(),
         io_node_speed: Vec::new(),
         disk_geometry: None,
+        cache: CacheParams::none(),
     }
 }
 
@@ -175,6 +176,7 @@ pub fn sp2() -> MachineConfig {
         passion: sp2_passion(),
         io_node_speed: Vec::new(),
         disk_geometry: None,
+        cache: CacheParams::none(),
     }
 }
 
@@ -233,6 +235,7 @@ pub fn modern_cluster() -> MachineConfig {
         },
         io_node_speed: Vec::new(),
         disk_geometry: None,
+        cache: CacheParams::none(),
     }
 }
 

@@ -85,7 +85,7 @@ impl Topology {
     pub fn link_count(&self) -> usize {
         let cols_total = self.mesh.cols + 1; // + the I/O column
         let horizontal = self.mesh.rows * (cols_total - 1);
-        let vertical = (self.mesh.rows - 1).max(0) * cols_total;
+        let vertical = self.mesh.rows.saturating_sub(1) * cols_total;
         horizontal + vertical
     }
 

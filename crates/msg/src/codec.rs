@@ -62,7 +62,6 @@ pub fn unpack_u64(bytes: &[u8]) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn f64_roundtrip_simple() {
@@ -82,19 +81,25 @@ mod tests {
         unpack_f64(&[1, 2, 3]);
     }
 
-    proptest! {
-        #[test]
-        fn f64_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..100)) {
-            let back = unpack_f64(&pack_f64(&v));
-            prop_assert_eq!(back.len(), v.len());
-            for (a, b) in back.iter().zip(&v) {
-                prop_assert!(a.to_bits() == b.to_bits());
-            }
-        }
+    #[cfg(feature = "heavy-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..100)) {
-            prop_assert_eq!(unpack_u64(&pack_u64(&v)), v);
+        proptest! {
+            #[test]
+            fn f64_roundtrip(v in proptest::collection::vec(any::<f64>(), 0..100)) {
+                let back = unpack_f64(&pack_f64(&v));
+                prop_assert_eq!(back.len(), v.len());
+                for (a, b) in back.iter().zip(&v) {
+                    prop_assert!(a.to_bits() == b.to_bits());
+                }
+            }
+
+            #[test]
+            fn u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..100)) {
+                prop_assert_eq!(unpack_u64(&pack_u64(&v)), v);
+            }
         }
     }
 }

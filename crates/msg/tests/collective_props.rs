@@ -1,3 +1,4 @@
+#![cfg(feature = "heavy-tests")]
 //! Property tests of the collectives: for arbitrary payload matrices the
 //! collectives must implement their algebraic contracts (transpose for
 //! all-to-all, replication for broadcast/all-gather, reduction for

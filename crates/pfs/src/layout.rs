@@ -112,7 +112,6 @@ impl Striping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn single_unit_request_hits_one_node() {
@@ -201,7 +200,12 @@ mod tests {
         assert_eq!(n0.local_offset, 128);
     }
 
-    proptest! {
+    #[cfg(feature = "heavy-tests")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
         #[test]
         fn runs_cover_exactly_len(
             unit in 1u64..256,
@@ -259,6 +263,7 @@ mod tests {
             if s.node_of_unit(u_lo) == s.node_of_unit(u_hi) {
                 prop_assert!(s.local_offset(lo) <= s.local_offset(hi));
             }
+        }
         }
     }
 }

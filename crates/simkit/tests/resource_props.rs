@@ -1,3 +1,4 @@
+#![cfg(feature = "heavy-tests")]
 //! Property tests of the FIFO resource: the virtual-queue booking must
 //! behave exactly like an m-server FIFO queue.
 

@@ -14,10 +14,12 @@
 //! the caption says "total I/O time is 4.4 hours" ≈ 60,284/4 s — the
 //! cumulative convention.)
 
+pub mod cache;
 pub mod figure;
 pub mod hist;
 pub mod report;
 
+pub use cache::{CacheCounters, CacheSnapshot};
 pub use hist::SizeHistogram;
 
 use std::cell::RefCell;
@@ -103,6 +105,7 @@ struct CollectorInner {
 #[derive(Clone, Default)]
 pub struct TraceCollector {
     inner: Rc<RefCell<CollectorInner>>,
+    cache: cache::CacheCounters,
 }
 
 impl TraceCollector {
@@ -222,9 +225,16 @@ impl TraceCollector {
         self.inner.borrow().by_kind[kind.index()].bytes
     }
 
+    /// Buffer-cache counters fed by the `iosim-cache` subsystem. Shared
+    /// across clones like the op aggregation.
+    pub fn cache(&self) -> &cache::CacheCounters {
+        &self.cache
+    }
+
     /// Reset all aggregation (e.g. to exclude a warm-up phase).
     pub fn reset(&self) {
         *self.inner.borrow_mut() = CollectorInner::default();
+        self.cache.reset();
     }
 }
 
@@ -434,6 +444,17 @@ mod tests {
         assert_eq!(tc.read_sizes().count_for(512), 2);
         assert_eq!(tc.write_sizes().total_count(), 1);
         assert_eq!(tc.write_sizes().median_bucket_bound(), 1 << 20);
+    }
+
+    #[test]
+    fn cache_counters_ride_along_and_reset() {
+        let tc = TraceCollector::new();
+        tc.clone().cache().add_hits(2);
+        tc.cache().add_misses(1);
+        assert_eq!(tc.cache().snapshot().hits, 2);
+        assert_eq!(tc.cache().snapshot().misses, 1);
+        tc.reset();
+        assert!(tc.cache().snapshot().is_empty());
     }
 
     #[test]

@@ -97,6 +97,7 @@ fn run_scf11(o: &Opts) -> RunResult {
         mem_kb: o.get("mem-kb", 64),
         stripe_unit_kb: o.get("stripe-kb", 64),
         scale: o.get("scale", 1.0),
+        cache_mb: o.get("cache", 0),
         ..scf11::Scf11Config::new(input, version)
     };
     eprintln!("SCF 1.1 {} {:?} tuple {}", input.name(), version, cfg.tuple());
@@ -111,6 +112,7 @@ fn run_scf30(o: &Opts) -> RunResult {
         balanced: !o.flag("unbalanced"),
         prefetch: !o.flag("no-prefetch"),
         scale: o.get("scale", 1.0),
+        cache_mb: o.get("cache", 0),
         ..scf30::Scf30Config::new(
             scf11::ScfInput::Medium,
             o.get("procs", 32),
@@ -134,6 +136,7 @@ fn run_fft(o: &Opts) -> RunResult {
     );
     cfg.io_nodes = o.get("io-nodes", 2);
     cfg.mem_per_proc = o.get("mem-mb", 16u64) << 20;
+    cfg.cache_mb = o.get("cache", 0);
     eprintln!(
         "2-D out-of-core FFT {}x{} complex, {} procs, {} I/O nodes, optimized={}",
         cfg.n, cfg.n, cfg.procs, cfg.io_nodes, cfg.optimized
@@ -155,6 +158,7 @@ fn run_btio(o: &Opts) -> RunResult {
     let cfg = btio::BtioConfig {
         dumps: o.get("dumps", 40),
         verify: o.flag("verify"),
+        cache_mb: o.get("cache", 0),
         ..btio::BtioConfig::new(class, o.get("procs", 16), o.flag("optimized"))
     };
     eprintln!(
@@ -174,6 +178,7 @@ fn run_ast(o: &Opts) -> RunResult {
         arrays: o.get("arrays", 4),
         dumps: o.get("dumps", 10),
         restart: o.flag("restart"),
+        cache_mb: o.get("cache", 0),
         ..ast::AstConfig::new(
             o.get("procs", 16),
             o.get("io-nodes", 16),
@@ -227,6 +232,9 @@ fn print_result(r: &RunResult) {
     println!("I/O time (wall): {}  ({:.1}% of exec)", r.io_time, 100.0 * r.io_fraction());
     println!("I/O volume     : {:.2} MB over {} operations", r.io_bytes as f64 / 1e6, r.io_ops);
     println!("I/O bandwidth  : {:.2} MB/s", r.bandwidth_mb_s());
+    if !r.cache.is_empty() {
+        println!("{}", r.cache.render_line());
+    }
     println!();
     println!("{}", r.summary.render("I/O trace (cumulative across ranks)", r.cum_exec_time()));
 }
@@ -236,6 +244,7 @@ fn usage() {
         "usage: iosim <scf11|scf30|fft|btio|ast> [--flag value]...\n\
          \n\
          common flags: --procs N --io-nodes N --scale X --optimized\n\
+         \x20             --cache MB   per-I/O-node LRU buffer cache (0 = off, the default)\n\
          scf11: --input small|medium|large --version original|passion|prefetch --mem-kb N --stripe-kb N\n\
          scf30: --cached PCT --unbalanced --no-prefetch\n\
          fft:   --n N --mem-mb N\n\

@@ -1,0 +1,88 @@
+//! Buffer-cache guard rails, alongside `determinism.rs`:
+//!
+//! - `CachePolicy::None` (every preset's default) must keep the original
+//!   uncached data path: an explicit `CacheParams::none()` machine
+//!   produces measurements identical to the preset default, and no
+//!   cache counters ever tick.
+//! - Cached runs are deterministic: the cache's LRU/flush/read-ahead
+//!   decisions are a pure function of the configuration.
+//! - An LRU cache must strictly reduce simulated I/O time on a
+//!   re-reading workload, while leaving stored bytes exact.
+
+use iosim::apps::fft;
+use iosim::machine::{CacheParams, CachePolicy};
+
+fn cfg(cache_mb: u64) -> fft::FftConfig {
+    let mut c = fft::FftConfig::new(256, 4, false);
+    c.mem_per_proc = 256 << 10;
+    c.cache_mb = cache_mb;
+    c
+}
+
+#[test]
+fn none_policy_matches_preset_default() {
+    // The presets default to CachePolicy::None; an explicit none() must
+    // be the same machine, and both must leave the counters untouched.
+    let preset = iosim::machine::presets::paragon_small();
+    assert_eq!(preset.cache, CacheParams::none());
+    assert_eq!(preset.cache.policy, CachePolicy::None);
+    let explicit = preset.with_cache(CacheParams::none());
+    assert_eq!(explicit.cache, CacheParams::none());
+
+    let a = fft::run(&cfg(0));
+    assert!(a.cache.is_empty(), "uncached run ticked cache counters");
+}
+
+#[test]
+fn uncached_runs_stay_bit_identical() {
+    // The determinism guard for the legacy path in the presence of the
+    // cache subsystem: cache_mb = 0 twice, identical times.
+    let a = fft::run(&cfg(0));
+    let b = fft::run(&cfg(0));
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.io_time, b.io_time);
+    assert_eq!(a.cum_io_time, b.cum_io_time);
+    assert_eq!(a.io_ops, b.io_ops);
+    assert_eq!(a.io_bytes, b.io_bytes);
+}
+
+#[test]
+fn cached_runs_are_bit_identical() {
+    let a = fft::run(&cfg(4));
+    let b = fft::run(&cfg(4));
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.io_time, b.io_time);
+    assert_eq!(a.cache, b.cache);
+}
+
+#[test]
+fn lru_cache_strictly_reduces_fft_io_time() {
+    let uncached = fft::run(&cfg(0));
+    let cached = fft::run(&cfg(4));
+    assert!(
+        cached.io_time < uncached.io_time,
+        "4 MB cache should cut I/O time: {} vs {}",
+        cached.io_time,
+        uncached.io_time
+    );
+    assert!(cached.cache.hits > 0);
+    assert_eq!(uncached.io_bytes, cached.io_bytes, "same logical workload");
+}
+
+#[test]
+fn cache_preserves_stored_bytes() {
+    // The cache is a timing model only: the final stored `B` array must
+    // be byte-identical with and without it.
+    let stored_cfg = |cache_mb: u64| {
+        let mut c = fft::FftConfig::new(64, 4, true);
+        c.stored = true;
+        c.mem_per_proc = 64 << 10;
+        c.cache_mb = cache_mb;
+        c
+    };
+    let (plain, b_plain) = fft::run_capture(&stored_cfg(0));
+    let (cached, b_cached) = fft::run_capture(&stored_cfg(4));
+    assert!(plain.cache.is_empty());
+    assert!(cached.cache.hits + cached.cache.misses > 0, "cache saw traffic");
+    assert_eq!(b_plain, b_cached, "cache must not change file contents");
+}

@@ -1,3 +1,4 @@
+#![cfg(feature = "heavy-tests")]
 //! Property tests driving the whole stack against an in-memory oracle:
 //! random sequences of writes and reads through the simulated parallel
 //! file system must behave exactly like a plain byte vector, regardless

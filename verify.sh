@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate. Runs the tier-1 check from ROADMAP.md plus a
+# clippy pass (deny warnings) over the workspace. Fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests (root package) =="
+cargo test -q --offline
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== workspace tests =="
+cargo test -q --offline --workspace
+
+echo "verify.sh: all checks passed"
