@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use iosim_core::two_phase::{write_collective, Piece};
 use iosim_machine::{presets, Interface, MachineConfig};
-use iosim_pfs::CreateOptions;
+use iosim_pfs::{CreateOptions, IoRequest};
 
 use crate::common::{run_ranks, AppCtx, RunResult};
 
@@ -129,8 +129,7 @@ pub fn run(cfg: &AstConfig) -> RunResult {
 /// Run AST and capture the final shared file (stored mode).
 pub fn run_capture(cfg: &AstConfig) -> (RunResult, Vec<u8>) {
     assert!(cfg.stored, "capture needs stored files");
-    let captured: Rc<std::cell::RefCell<Vec<u8>>> =
-        Rc::new(std::cell::RefCell::new(Vec::new()));
+    let captured: Rc<std::cell::RefCell<Vec<u8>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
     let cap2 = Rc::clone(&captured);
     let cfg2 = cfg.clone();
     let res = run_ranks(cfg.machine(), cfg.procs, move |ctx| {
@@ -195,8 +194,7 @@ async fn rank_program(ctx: AppCtx, cfg: AstConfig) {
         .await
         .expect("open dump file");
 
-    let flops_per_dump =
-        total_flops(g, cfg.dumps) / cfg.dumps as f64 / cfg.procs as f64;
+    let flops_per_dump = total_flops(g, cfg.dumps) / cfg.dumps as f64 / cfg.procs as f64;
     let array_bytes = g * g * 8;
     for dump in 0..cfg.dumps {
         // Advance the solution to the next dump point.
@@ -244,21 +242,16 @@ async fn rank_program(ctx: AppCtx, cfg: AstConfig) {
             if cfg.optimized {
                 let spans: Vec<iosim_core::two_phase::Span> = (c0..c1)
                     .map(|c| {
-                        iosim_core::two_phase::Span::new(
-                            base + (c * g + r0) * 8,
-                            (r1 - r0) * 8,
-                        )
+                        iosim_core::two_phase::Span::new(base + (c * g + r0) * 8, (r1 - r0) * 8)
                     })
                     .collect();
-                let (got, _) =
-                    iosim_core::two_phase::read_collective(&ctx.comm, &fh, spans)
-                        .await
-                        .expect("collective restart read");
+                let (got, _) = iosim_core::two_phase::read_collective(&ctx.comm, &fh, spans)
+                    .await
+                    .expect("collective restart read");
                 if cfg.stored {
                     for (ci, p) in got.iter().enumerate() {
                         let c = c0 + ci as u64;
-                        let want =
-                            fragment(&cfg, a, r0, r1, c, dump).expect("stored");
+                        let want = fragment(&cfg, a, r0, r1, c, dump).expect("stored");
                         assert_eq!(
                             p.data.as_ref().expect("stored read"),
                             &want,
@@ -267,17 +260,20 @@ async fn rank_program(ctx: AppCtx, cfg: AstConfig) {
                     }
                 }
             } else {
-                for c in c0..c1 {
-                    let off = base + (c * g + r0) * 8;
-                    fh.seek(off).await;
-                    let len = (r1 - r0) * 8;
-                    if cfg.stored {
-                        let got = fh.read(len).await.expect("restart read");
+                // All of my column fragments of this array as one
+                // vectored request (the Chameleon-class interface still
+                // degenerates to a per-fragment loop).
+                let len = (r1 - r0) * 8;
+                let req = IoRequest::strided(base + (c0 * g + r0) * 8, len, g * 8, c1 - c0);
+                if cfg.stored {
+                    let got = fh.readv(&req).await.expect("restart read");
+                    for (ci, chunk) in got.chunks_exact(len as usize).enumerate() {
+                        let c = c0 + ci as u64;
                         let want = fragment(&cfg, a, r0, r1, c, dump).expect("stored");
-                        assert_eq!(got, want, "restart data mismatch");
-                    } else {
-                        fh.read_discard(len).await.expect("restart read");
+                        assert_eq!(chunk, &want[..], "restart data mismatch");
                     }
+                } else {
+                    fh.readv_discard(&req).await.expect("restart read");
                 }
             }
         }
@@ -286,14 +282,7 @@ async fn rank_program(ctx: AppCtx, cfg: AstConfig) {
     fh.close().await;
 }
 
-fn fragment(
-    cfg: &AstConfig,
-    a: u32,
-    r0: u64,
-    r1: u64,
-    c: u64,
-    dump: u32,
-) -> Option<Vec<u8>> {
+fn fragment(cfg: &AstConfig, a: u32, r0: u64, r1: u64, c: u64, dump: u32) -> Option<Vec<u8>> {
     if !cfg.stored {
         return None;
     }

@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use iosim_core::two_phase::{write_collective, Piece};
 use iosim_machine::{presets, Interface, MachineConfig};
-use iosim_pfs::CreateOptions;
+use iosim_pfs::{CreateOptions, IoRequest};
 
 use crate::common::{run_ranks, AppCtx, RunResult};
 
@@ -282,8 +282,7 @@ async fn rank_program(ctx: AppCtx, cfg: BtioConfig) {
                     let (z0, zl) = ext[cz as usize];
                     for z in z0..z0 + zl {
                         for y in y0..y0 + yl {
-                            let want = run_bytes_payload(&cfg, x0, xl, y, z, dump)
-                                .expect("stored");
+                            let want = run_bytes_payload(&cfg, x0, xl, y, z, dump).expect("stored");
                             assert_eq!(
                                 got[idx].data.as_ref().expect("stored read"),
                                 &want,
@@ -295,24 +294,36 @@ async fn rank_program(ctx: AppCtx, cfg: BtioConfig) {
                 }
             }
         } else {
+            // Independent verification: all of this rank's x-runs as one
+            // vectored request (UNIX-style interfaces degenerate to the
+            // per-fragment loop; the request is the currency either way).
+            let mut req = IoRequest::default();
+            let mut runs = Vec::new();
             for &(cx, cy, cz) in &cells {
                 let (x0, xl) = ext[cx as usize];
                 let (y0, yl) = ext[cy as usize];
                 let (z0, zl) = ext[cz as usize];
                 for z in z0..z0 + zl {
                     for y in y0..y0 + yl {
-                        let off = base + run_offset(n, x0, y, z);
-                        fh.seek(off).await;
-                        if cfg.stored {
-                            let got = fh.read(xl * CELL).await.expect("verify read");
-                            let want = run_bytes_payload(&cfg, x0, xl, y, z, dump)
-                                .expect("stored");
-                            assert_eq!(got, want, "verification mismatch");
-                        } else {
-                            fh.read_discard(xl * CELL).await.expect("verify read");
-                        }
+                        req.push(base + run_offset(n, x0, y, z), xl * CELL);
+                        runs.push((x0, xl, y, z));
                     }
                 }
+            }
+            if cfg.stored {
+                let got = fh.readv(&req).await.expect("verify read");
+                let mut cursor = 0usize;
+                for (x0, xl, y, z) in runs {
+                    let want = run_bytes_payload(&cfg, x0, xl, y, z, dump).expect("stored");
+                    assert_eq!(
+                        &got[cursor..cursor + want.len()],
+                        &want[..],
+                        "verification mismatch at (y={y}, z={z})"
+                    );
+                    cursor += want.len();
+                }
+            } else {
+                fh.readv_discard(&req).await.expect("verify read");
             }
         }
     }

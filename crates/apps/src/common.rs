@@ -10,7 +10,7 @@ use iosim_msg::{Comm, World};
 use iosim_pfs::FileSystem;
 use iosim_simkit::executor::{join_all, Sim};
 use iosim_simkit::time::SimDuration;
-use iosim_trace::{CacheSnapshot, IoSummary, TraceCollector};
+use iosim_trace::{CacheSnapshot, IoSummary, ListIoSnapshot, TraceCollector};
 
 /// Everything one simulated process needs.
 pub struct AppCtx {
@@ -54,6 +54,9 @@ pub struct RunResult {
     pub balance: iosim_trace::BalanceStats,
     /// Buffer-cache behaviour (all zero when the machine runs uncached).
     pub cache: CacheSnapshot,
+    /// Vectored list-I/O request shapes (all zero when no caller used
+    /// the `readv`/`writev` path).
+    pub listio: ListIoSnapshot,
 }
 
 impl RunResult {
@@ -151,6 +154,7 @@ pub fn run_ranks(
         write_sizes: trace.write_sizes(),
         balance: trace.balance(),
         cache: trace.cache().snapshot(),
+        listio: trace.listio().snapshot(),
     }
 }
 

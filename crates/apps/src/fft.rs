@@ -179,7 +179,9 @@ async fn rank_program(ctx: AppCtx, cfg: FftConfig) {
                 buf.extend_from_slice(&im.to_le_bytes());
             }
         }
-        a.write_block_raw(0, c_lo, n, own, &buf).await.expect("fill A");
+        a.write_block_raw(0, c_lo, n, own, &buf)
+            .await
+            .expect("fill A");
     }
     ctx.comm.barrier().await;
 
@@ -232,11 +234,17 @@ async fn fft_pass_columns(
             let raw = arr.read_block_raw(0, c, n, w).await.expect("read panel");
             let out = fft_block_columns(&raw, n, w);
             ctx.machine.compute(dsp::fft_flops(n) * w as f64).await;
-            arr.write_block_raw(0, c, n, w, &out).await.expect("write panel");
+            arr.write_block_raw(0, c, n, w, &out)
+                .await
+                .expect("write panel");
         } else {
-            arr.read_block_discard(0, c, n, w).await.expect("read panel");
+            arr.read_block_discard(0, c, n, w)
+                .await
+                .expect("read panel");
             ctx.machine.compute(dsp::fft_flops(n) * w as f64).await;
-            arr.write_block_discard(0, c, n, w).await.expect("write panel");
+            arr.write_block_discard(0, c, n, w)
+                .await
+                .expect("write panel");
         }
         c += w;
     }
@@ -260,11 +268,17 @@ async fn fft_pass_rows(
             let raw = arr.read_block_raw(r, 0, h, n).await.expect("read panel");
             let out = fft_block_rows(&raw, h, n);
             ctx.machine.compute(dsp::fft_flops(n) * h as f64).await;
-            arr.write_block_raw(r, 0, h, n, &out).await.expect("write panel");
+            arr.write_block_raw(r, 0, h, n, &out)
+                .await
+                .expect("write panel");
         } else {
-            arr.read_block_discard(r, 0, h, n).await.expect("read panel");
+            arr.read_block_discard(r, 0, h, n)
+                .await
+                .expect("read panel");
             ctx.machine.compute(dsp::fft_flops(n) * h as f64).await;
-            arr.write_block_discard(r, 0, h, n).await.expect("write panel");
+            arr.write_block_discard(r, 0, h, n)
+                .await
+                .expect("write panel");
         }
         r += h;
     }
@@ -288,11 +302,17 @@ async fn transpose_optimized(
             let raw = a.read_block_raw(0, c, n, w).await.expect("read A panel");
             let t = transpose_raw(&raw, n, w);
             charge_copy(ctx, n * w * CPX).await;
-            b.write_block_raw(c, 0, w, n, &t).await.expect("write B panel");
+            b.write_block_raw(c, 0, w, n, &t)
+                .await
+                .expect("write B panel");
         } else {
-            a.read_block_discard(0, c, n, w).await.expect("read A panel");
+            a.read_block_discard(0, c, n, w)
+                .await
+                .expect("read A panel");
             charge_copy(ctx, n * w * CPX).await;
-            b.write_block_discard(c, 0, w, n).await.expect("write B panel");
+            b.write_block_discard(c, 0, w, n)
+                .await
+                .expect("write B panel");
         }
         c += w;
     }
@@ -325,11 +345,17 @@ async fn transpose_unoptimized(
                 let raw = a.read_block_raw(r, c, tr, tw).await.expect("read A tile");
                 let t = transpose_raw(&raw, tr, tw);
                 charge_copy(ctx, tr * tw * CPX).await;
-                b.write_block_raw(c, r, tw, tr, &t).await.expect("write B tile");
+                b.write_block_raw(c, r, tw, tr, &t)
+                    .await
+                    .expect("write B tile");
             } else {
-                a.read_block_discard(r, c, tr, tw).await.expect("read A tile");
+                a.read_block_discard(r, c, tr, tw)
+                    .await
+                    .expect("read A tile");
                 charge_copy(ctx, tr * tw * CPX).await;
-                b.write_block_discard(c, r, tw, tr).await.expect("write B tile");
+                b.write_block_discard(c, r, tw, tr)
+                    .await
+                    .expect("write B tile");
             }
             c += tw;
         }

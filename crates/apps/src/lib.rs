@@ -3,14 +3,14 @@
 //! Simulated workloads reproducing each application's I/O pattern and
 //! compute/IO balance, in unoptimized and optimized variants.
 
+pub mod ast;
+pub mod btio;
 pub mod common;
+pub mod dsp;
+pub mod fft;
 pub mod registry;
 pub mod replay;
 pub mod scf11;
-pub mod ast;
-pub mod btio;
-pub mod dsp;
-pub mod fft;
 pub mod scf30;
 
 pub use common::{run_ranks, with_cache_mb, AppCtx, RunResult};

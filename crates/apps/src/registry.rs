@@ -142,7 +142,9 @@ mod tests {
         assert!(by_name("BTIO")
             .effective_optimizations
             .contains(&"collective I/O"));
-        assert!(by_name("FFT").effective_optimizations.contains(&"file layout"));
+        assert!(by_name("FFT")
+            .effective_optimizations
+            .contains(&"file layout"));
         assert!(by_name("SCF 3.0")
             .effective_optimizations
             .contains(&"balanced I/O"));

@@ -216,9 +216,13 @@ pub fn replay(ops: &[TraceOp], cfg: &ReplayConfig) -> RunResult {
         per_rank[op.rank].push(*op);
     }
     // All ranks must execute the same number of collective windows.
-    let windows = cfg
-        .collective_batch
-        .map(|b| per_rank.iter().map(|v| v.len().div_ceil(b)).max().unwrap_or(0));
+    let windows = cfg.collective_batch.map(|b| {
+        per_rank
+            .iter()
+            .map(|v| v.len().div_ceil(b))
+            .max()
+            .unwrap_or(0)
+    });
     let cfg2 = cfg.clone();
     run_ranks(cfg.machine.clone(), n.max(1), move |ctx| {
         let mine = per_rank.get(ctx.rank).cloned().unwrap_or_default();
@@ -238,10 +242,9 @@ pub fn replay(ops: &[TraceOp], cfg: &ReplayConfig) -> RunResult {
             match (cfg.collective_batch, windows) {
                 (Some(batch), Some(windows)) => {
                     for w in 0..windows {
-                        let chunk: &[TraceOp] =
-                            mine.get(w * batch..).map_or(&[], |rest| {
-                                &rest[..rest.len().min(batch)]
-                            });
+                        let chunk: &[TraceOp] = mine
+                            .get(w * batch..)
+                            .map_or(&[], |rest| &rest[..rest.len().min(batch)]);
                         let writes: Vec<Piece> = chunk
                             .iter()
                             .filter(|o| o.kind == TraceKind::Write)
@@ -264,9 +267,7 @@ pub fn replay(ops: &[TraceOp], cfg: &ReplayConfig) -> RunResult {
                     for op in &mine {
                         fh.seek(op.offset).await;
                         match op.kind {
-                            TraceKind::Read => {
-                                fh.read_discard(op.len).await.expect("replay read")
-                            }
+                            TraceKind::Read => fh.read_discard(op.len).await.expect("replay read"),
                             TraceKind::Write => {
                                 fh.write_discard(op.len).await.expect("replay write")
                             }
@@ -402,7 +403,10 @@ mod tests {
         assert_eq!(res.summary.rows[1].bytes, 1000);
         assert_eq!(res.summary.rows[3].bytes, 2000);
         let coll = replay(&ops, &ReplayConfig::collective(presets::paragon_small(), 4));
-        assert_eq!(coll.summary.rows[1].bytes + coll.summary.rows[3].bytes, 3000);
+        assert_eq!(
+            coll.summary.rows[1].bytes + coll.summary.rows[3].bytes,
+            3000
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::rc::Rc;
 
 use iosim_core::prefetch::Prefetcher;
 use iosim_machine::{presets, Interface};
-use iosim_pfs::CreateOptions;
+use iosim_pfs::{CreateOptions, IoRequest};
 use iosim_simkit::time::SimDuration;
 
 use crate::common::{run_ranks, AppCtx, RunResult};
@@ -250,7 +250,9 @@ async fn rank_program(ctx: AppCtx, cfg: Scf11Config) -> SimDuration {
         if iface == Interface::Passion {
             fh.seek(written).await;
         }
-        fh.write_discard_at(written, len).await.expect("write chunk");
+        fh.writev_discard(&IoRequest::contiguous(written, len))
+            .await
+            .expect("write chunk");
         writes += 1;
         if writes.is_multiple_of(FLUSH_EVERY) {
             fh.flush().await;
@@ -291,7 +293,9 @@ async fn rank_program(ctx: AppCtx, cfg: Scf11Config) -> SimDuration {
                     if cfg.version == Scf11Version::Passion {
                         fh.seek(off).await;
                     }
-                    fh.read_discard_at(off, len).await.expect("read chunk");
+                    fh.readv_discard(&IoRequest::contiguous(off, len))
+                        .await
+                        .expect("read chunk");
                     fg_io += h.now() - t;
                     ctx.machine.compute(flops_per_chunk).await;
                     off += len;

@@ -23,7 +23,7 @@ use iosim_core::balanced::{default_tolerance, plan_balance, SemiDirect};
 use iosim_core::prefetch::Prefetcher;
 use iosim_machine::{presets, Interface};
 use iosim_msg::{MatchSrc, Payload};
-use iosim_pfs::CreateOptions;
+use iosim_pfs::{CreateOptions, IoRequest};
 
 use crate::common::{run_ranks, AppCtx, RunResult};
 use crate::scf11::{integral_volume, total_flops, ScfInput};
@@ -113,10 +113,7 @@ pub fn run(cfg: &Scf30Config) -> Scf30Result {
         })
     });
     let balance_moved = *moved.borrow();
-    Scf30Result {
-        run,
-        balance_moved,
-    }
+    Scf30Result { run, balance_moved }
 }
 
 /// One process's program; returns bytes it shipped during balancing.
@@ -138,7 +135,12 @@ async fn rank_program(ctx: AppCtx, cfg: Scf30Config) -> u64 {
     let name = |r: usize| format!("scf30.ints.{r}");
     let fh = ctx
         .fs
-        .open(rank, Interface::Passion, &name(rank), Some(CreateOptions::default()))
+        .open(
+            rank,
+            Interface::Passion,
+            &name(rank),
+            Some(CreateOptions::default()),
+        )
         .await
         .expect("create integral file");
     let n_chunks = my_disk.div_ceil(WRITE_CHUNK).max(1);
@@ -147,7 +149,9 @@ async fn rank_program(ctx: AppCtx, cfg: Scf30Config) -> u64 {
         ctx.machine.compute(my_eval_flops / n_chunks as f64).await;
         let len = WRITE_CHUNK.min(my_disk - written);
         if len > 0 {
-            fh.write_discard_at(written, len).await.expect("write");
+            fh.writev_discard(&IoRequest::contiguous(written, len))
+                .await
+                .expect("write");
             written += len;
         }
     }
@@ -158,20 +162,30 @@ async fn rank_program(ctx: AppCtx, cfg: Scf30Config) -> u64 {
     let mut my_size = written;
     let mut moved_bytes = 0u64;
     if cfg.balanced && p > 1 && disk_total > 0 {
-        let sizes_payload = ctx.comm.allgather(Payload::bytes(written.to_le_bytes().to_vec())).await;
+        let sizes_payload = ctx
+            .comm
+            .allgather(Payload::bytes(written.to_le_bytes().to_vec()))
+            .await;
         let sizes: Vec<u64> = sizes_payload
             .into_iter()
             .map(|pl| u64::from_le_bytes(pl.into_bytes().try_into().expect("8 bytes")))
             .collect();
         let mean = sizes.iter().sum::<u64>() as f64 / p as f64;
-        let moves = plan_balance(&sizes, default_tolerance(mean).min((mean * 0.10) as u64).max(1 << 10));
+        let moves = plan_balance(
+            &sizes,
+            default_tolerance(mean)
+                .min((mean * 0.10) as u64)
+                .max(1 << 10),
+        );
         // Every rank executes the plan deterministically: senders read the
         // surplus and ship it; receivers append it.
         for (i, m) in moves.iter().enumerate() {
             let tag = 7_000 + i as u64;
             if m.from == rank {
                 my_size -= m.bytes;
-                fh.read_discard_at(my_size, m.bytes).await.expect("read surplus");
+                fh.read_discard_at(my_size, m.bytes)
+                    .await
+                    .expect("read surplus");
                 ctx.comm.send(m.to, tag, Payload::synthetic(m.bytes)).await;
                 moved_bytes += m.bytes;
             } else if m.to == rank {
@@ -202,7 +216,9 @@ async fn rank_program(ctx: AppCtx, cfg: Scf30Config) -> u64 {
                 let mut off = 0u64;
                 while off < my_size {
                     let len = READ_CHUNK.min(my_size - off);
-                    fh.read_discard_at(off, len).await.expect("read");
+                    fh.readv_discard(&IoRequest::contiguous(off, len))
+                        .await
+                        .expect("read");
                     off += len;
                 }
             }

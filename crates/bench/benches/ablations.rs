@@ -21,7 +21,10 @@ fn ablation_stripe_unit(c: &mut Criterion) {
             ..Scf11Config::new(ScfInput::Small, Scf11Version::Passion)
         };
         let r = scf_run(&cfg);
-        println!("  Su={su:>4} KB  exec={:>10.3}s", r.run.exec_time.as_secs_f64());
+        println!(
+            "  Su={su:>4} KB  exec={:>10.3}s",
+            r.run.exec_time.as_secs_f64()
+        );
     }
     let mut g = c.benchmark_group("ablation_stripe_unit");
     g.sample_size(10);
@@ -88,7 +91,9 @@ fn ablation_prefetch_depth(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("ablation_prefetch_depth");
     g.sample_size(10);
-    g.bench_function("depth2", |b| b.iter(|| std::hint::black_box(scan_with_depth(2))));
+    g.bench_function("depth2", |b| {
+        b.iter(|| std::hint::black_box(scan_with_depth(2)))
+    });
     g.finish();
 }
 
@@ -102,9 +107,14 @@ fn scan_with_depth(depth: usize) -> f64 {
     let fs = FileSystem::new(m, TraceCollector::new());
     let jh = sim.spawn(async move {
         let fh = Rc::new(
-            fs.open(0, Interface::Passion, "scan", Some(CreateOptions::default()))
-                .await
-                .unwrap(),
+            fs.open(
+                0,
+                Interface::Passion,
+                "scan",
+                Some(CreateOptions::default()),
+            )
+            .await
+            .unwrap(),
         );
         fh.preallocate(32 << 20);
         let mut pf = Prefetcher::new(Rc::clone(&fh), 0, 32 << 20, 1 << 20, depth);
@@ -132,7 +142,12 @@ fn ablation_disk_model(c: &mut Criterion) {
         let fs = FileSystem::new(m, TraceCollector::new());
         let jh = sim.spawn(async move {
             let fh = fs
-                .open(0, Interface::UnixStyle, "rnd", Some(CreateOptions::default()))
+                .open(
+                    0,
+                    Interface::UnixStyle,
+                    "rnd",
+                    Some(CreateOptions::default()),
+                )
                 .await
                 .unwrap();
             fh.preallocate(256 << 20);

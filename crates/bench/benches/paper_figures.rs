@@ -78,13 +78,6 @@ fn bench_fig7(c: &mut Criterion) {
 }
 
 criterion_group!(
-    figures,
-    bench_fig1,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7
+    figures, bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7
 );
 criterion_main!(figures);

@@ -54,5 +54,11 @@ fn bench_table5(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(tables, bench_table1, bench_table2_3, bench_table4, bench_table5);
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2_3,
+    bench_table4,
+    bench_table5
+);
 criterion_main!(tables);

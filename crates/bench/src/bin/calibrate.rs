@@ -36,9 +36,7 @@ fn main() {
     println!("calibration check at scale {scale} (Table 2/3 workload)\n");
 
     let jobs = vec![Scf11Version::Original, Scf11Version::Passion];
-    let measured = map_parallel(jobs, default_threads(), |&v| {
-        (v, mean_read_ms(v, scale))
-    });
+    let measured = map_parallel(jobs, default_threads(), |&v| (v, mean_read_ms(v, scale)));
 
     let targets = [("original (Fortran)", 106.0), ("PASSION", 59.7)];
     println!(
@@ -49,15 +47,16 @@ fn main() {
     for ((label, paper), (_, sim)) in targets.iter().zip(&measured) {
         let err = (sim - paper).abs() / paper;
         worst = worst.max(err);
-        println!("{label:<22} {paper:>12.1} {sim:>12.1} {:>9.1}%", 100.0 * err);
+        println!(
+            "{label:<22} {paper:>12.1} {sim:>12.1} {:>9.1}%",
+            100.0 * err
+        );
     }
     // The preset read-call costs imply these service components:
     let cfg = iosim_machine::presets::paragon_large();
     let fortran = cfg.fortran.read_call.as_millis_f64();
     let passion = cfg.passion.read_call.as_millis_f64();
-    println!(
-        "\npreset client costs: fortran read {fortran} ms, passion read {passion} ms"
-    );
+    println!("\npreset client costs: fortran read {fortran} ms, passion read {passion} ms");
     println!(
         "implied service component: {:.1} ms (original), {:.1} ms (PASSION)",
         measured[0].1 - fortran,

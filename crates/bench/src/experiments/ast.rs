@@ -61,24 +61,22 @@ pub fn table4(scale: f64) -> ExperimentReport {
         "significant performance improvement in the overall execution time",
         opt_wins_everywhere,
     ));
-    let mid_gain =
-        cell(1, 0).exec_time.as_secs_f64() / cell(1, 2).exec_time.as_secs_f64();
+    let mid_gain = cell(1, 0).exec_time.as_secs_f64() / cell(1, 2).exec_time.as_secs_f64();
     report.push(Comparison::claim(
         "the improvement is large (≥3× at 36 procs)",
         "huge reduction in the I/O time (paper: 1203 s → 100 s at 32 procs)",
         mid_gain > 3.0,
     ));
     // 2. Going 16 → 64 I/O nodes changes little compared to the software fix.
-    let hw_gain =
-        cell(1, 0).exec_time.as_secs_f64() / cell(1, 1).exec_time.as_secs_f64();
+    let hw_gain = cell(1, 0).exec_time.as_secs_f64() / cell(1, 1).exec_time.as_secs_f64();
     report.push(Comparison::claim(
         "collective I/O matters more than 4× the I/O nodes",
         "this factor is more important than increasing the I/O nodes",
         mid_gain > 2.0 * hw_gain,
     ));
     // 3. Unoptimized time keeps decreasing with processors.
-    let unopt_decreasing = (1..PROCS.len())
-        .all(|pi| cell(pi, 0).exec_time <= cell(pi - 1, 0).exec_time);
+    let unopt_decreasing =
+        (1..PROCS.len()).all(|pi| cell(pi, 0).exec_time <= cell(pi - 1, 0).exec_time);
     report.push(Comparison::claim(
         "unoptimized time decreases with processors (compute-dominated tail)",
         "2557 → 1203 → 638 → 385 s",

@@ -24,12 +24,7 @@ fn cfg(class: BtClass, procs: usize, optimized: bool, scale: f64) -> BtioConfig 
 fn sweep(class: BtClass, scale: f64) -> (Vec<RunResult>, Vec<RunResult>) {
     let jobs: Vec<BtioConfig> = PROCS_FULL
         .iter()
-        .flat_map(|&p| {
-            [
-                cfg(class, p, false, scale),
-                cfg(class, p, true, scale),
-            ]
-        })
+        .flat_map(|&p| [cfg(class, p, false, scale), cfg(class, p, true, scale)])
         .collect();
     let flat = map_parallel(jobs, default_threads(), run);
     let mut unopt = Vec::new();
@@ -170,9 +165,9 @@ pub fn fig7(scale: f64) -> ExperimentReport {
     report.push(Comparison::claim(
         "two-phase bandwidth ≫ original at every processor count (Class B too)",
         "the I/O bandwidth of the optimized version is 6.6–31.4 MB/s vs 0.97–1.5",
-        bands.iter().all(|(u, o)| {
-            u.iter().zip(o).all(|(ub, ob)| ob > &(3.0 * ub))
-        }),
+        bands
+            .iter()
+            .all(|(u, o)| u.iter().zip(o).all(|(ub, ob)| ob > &(3.0 * ub))),
     ));
     report
 }
@@ -192,8 +187,8 @@ mod tests {
     #[test]
     fn fig6_shape_holds_at_small_scale() {
         let r = fig6(0.1); // 4 dumps
-        // The exact 46/49% reductions need full scale; only require the
-        // qualitative claims to hold here.
+                           // The exact 46/49% reductions need full scale; only require the
+                           // qualitative claims to hold here.
         for c in &r.comparisons {
             if c.what.contains("reduction") {
                 continue;

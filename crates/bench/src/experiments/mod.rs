@@ -36,14 +36,15 @@ pub fn all(scale: f64) -> Vec<ExperimentReport> {
     out.push(extensions::ext_disk_vs_recompute(scale));
     out.push(extensions::ext_modern_hardware(scale));
     out.push(extensions::ext_cache_ablation(scale));
+    out.push(extensions::ext_listio_ablation(scale));
     out
 }
 
 /// Experiment ids accepted by the `repro` binary: the paper's tables and
 /// figures in order, then the extension studies.
-pub const IDS: [&str; 19] = [
-    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "table4", "table5", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+pub const IDS: [&str; 20] = [
+    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table4",
+    "table5", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
 ];
 
 /// Run one experiment by id.
@@ -68,6 +69,7 @@ pub fn by_id(id: &str, scale: f64) -> Option<ExperimentReport> {
         "ext5" => extensions::ext_disk_vs_recompute(scale),
         "ext6" => extensions::ext_modern_hardware(scale),
         "ext7" => extensions::ext_cache_ablation(scale),
+        "ext8" => extensions::ext_listio_ablation(scale),
         _ => return None,
     })
 }

@@ -84,8 +84,7 @@ pub fn table2_table3(scale: f64) -> (ExperimentReport, ExperimentReport) {
         0.25,
     ));
     let seeks = pass.run.summary.rows[2].count as f64;
-    let data_calls =
-        (pass.run.summary.rows[1].count + pass.run.summary.rows[3].count) as f64;
+    let data_calls = (pass.run.summary.rows[1].count + pass.run.summary.rows[3].count) as f64;
     t3.push(Comparison::ratio(
         "seeks per data call (PASSION interface)",
         604_342.0 / 606_666.0,
@@ -125,18 +124,13 @@ pub fn fig1(scale: f64) -> ExperimentReport {
     let mut jobs = Vec::new();
     for input in inputs {
         for t in fig1_tuples() {
-            jobs.push(Scf11Config {
-                input,
-                scale,
-                ..t
-            });
+            jobs.push(Scf11Config { input, scale, ..t });
         }
     }
     let results = map_parallel(jobs.clone(), default_threads(), run);
 
-    let mut report = ExperimentReport::new(
-        "Figure 1: impact of optimizations on SCF 1.1 (config tuples I–VII)",
-    );
+    let mut report =
+        ExperimentReport::new("Figure 1: impact of optimizations on SCF 1.1 (config tuples I–VII)");
     let labels = ["I", "II", "III", "IV", "V", "VI", "VII"];
     report.push_body(&format!(
         "tuples: {}\n",
@@ -155,7 +149,11 @@ pub fn fig1(scale: f64) -> ExperimentReport {
         let mut fig = TextFigure::new(
             title,
             "tuple",
-            if io_axis { "I/O time (s)" } else { "exec time (s)" },
+            if io_axis {
+                "I/O time (s)"
+            } else {
+                "exec time (s)"
+            },
         );
         for (ii, input) in inputs.iter().enumerate() {
             let points: Vec<(f64, f64)> = (0..7)
@@ -397,7 +395,12 @@ mod tests {
             .chain(&t3.comparisons)
             .filter(|c| c.what.contains("per read") || c.what.contains("volume"))
             .any(|c| c.verdict == Verdict::Differs);
-        assert!(!hard_miss, "t2:\n{}\nt3:\n{}", t2.render_markdown(), t3.render_markdown());
+        assert!(
+            !hard_miss,
+            "t2:\n{}\nt3:\n{}",
+            t2.render_markdown(),
+            t3.render_markdown()
+        );
     }
 
     #[test]

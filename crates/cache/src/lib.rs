@@ -22,6 +22,11 @@
 //!   next `read_ahead_blocks` blocks are fetched speculatively after the
 //!   demand miss; a later request overlapping an in-flight prefetch
 //!   waits only for its completion (and is counted as a read-ahead hit).
+//! - **List-I/O requests.** The PFS vectored service path hands a whole
+//!   per-node extent list to [`BufferCache::read_extents`] /
+//!   [`BufferCache::write_extents`], served in one pass: one hit scan
+//!   over the union of touched blocks, one coalesced miss set, and the
+//!   lookup overhead plus memory copy paid once per request.
 //!
 //! Every decision is deterministic: LRU order is kept in a
 //! [`BTreeMap`] over a monotonic access tick (never iterate the block
@@ -145,8 +150,8 @@ impl BufferCache {
             params.block_bytes
         };
         let cap_blocks = ((params.capacity_bytes / block) as usize).max(1);
-        let high_water = ((params.dirty_high_water * cap_blocks as f64).ceil() as usize)
-            .clamp(1, cap_blocks);
+        let high_water =
+            ((params.dirty_high_water * cap_blocks as f64).ceil() as usize).clamp(1, cap_blocks);
         let low_water = high_water / 2;
         let nodes = (0..machine.io_nodes())
             .map(|_| RefCell::new(NodeCache::default()))
@@ -208,9 +213,9 @@ impl BufferCache {
         bytes: u64,
         arrival: SimTime,
     ) -> (SimTime, SimTime) {
-        let svc =
-            self.machine
-                .disk_service_positioned(node, n.prev_end(uid), offset, bytes);
+        let svc = self
+            .machine
+            .disk_service_positioned(node, n.prev_end(uid), offset, bytes);
         let booked = self.machine.io_queue(node).reserve_at(arrival, svc);
         n.disk_pos = Some((uid, offset + bytes));
         booked
@@ -304,16 +309,42 @@ impl BufferCache {
         bytes: u64,
         arrival: SimTime,
     ) -> SimTime {
-        let bytes = bytes.max(1);
-        let b0 = offset / self.block;
-        let b1 = (offset + bytes - 1) / self.block;
+        self.read_extents(node, uid, &[(offset, bytes)], arrival)
+    }
+
+    /// Serve a list-I/O read of sorted, disjoint local extents of file
+    /// `uid` at I/O node `node` in **one pass**: one hit scan over the
+    /// union of the touched blocks, one coalesced miss set fetched from
+    /// the disk queue, and the lookup overhead plus memory copy paid
+    /// once on the request's total bytes. [`BufferCache::read`] is the
+    /// single-extent special case.
+    pub fn read_extents(
+        self: &Rc<Self>,
+        node: usize,
+        uid: u64,
+        extents: &[(u64, u64)],
+        arrival: SimTime,
+    ) -> SimTime {
         let mut n = self.nodes[node].borrow_mut();
+        // Union of touched blocks (extents may share boundary blocks).
+        let mut total = 0u64;
+        let mut blocks: Vec<u64> = Vec::new();
+        for &(offset, bytes) in extents {
+            let bytes = bytes.max(1);
+            total += bytes;
+            blocks.extend(offset / self.block..=(offset + bytes - 1) / self.block);
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        if blocks.is_empty() {
+            return arrival;
+        }
 
         let mut done = arrival;
         let mut hits = 0u64;
         let mut ra_hits = 0u64;
         let mut missing: Vec<u64> = Vec::new();
-        for b in b0..=b1 {
+        for &b in &blocks {
             match n.blocks.get(&(uid, b)).map(|blk| blk.ready_at) {
                 Some(ready_at) => {
                     hits += 1;
@@ -329,8 +360,8 @@ impl BufferCache {
             }
         }
 
-        let extents = Self::coalesce(&missing);
-        for e in &extents {
+        let fetch = Self::coalesce(&missing);
+        for e in &fetch {
             let off = e.first_block * self.block;
             let len = e.count * self.block;
             let (_, end) = self.book_disk(&mut n, node, uid, off, len, arrival);
@@ -345,10 +376,12 @@ impl BufferCache {
 
         // Sequential read-ahead: if this request continues the previous
         // one, speculatively fetch the next blocks after the demand work.
-        let sequential = n.next_seq == Some((uid, b0));
-        n.next_seq = Some((uid, b1 + 1));
+        let first = blocks[0];
+        let last = *blocks.last().expect("non-empty");
+        let sequential = n.next_seq == Some((uid, first));
+        n.next_seq = Some((uid, last + 1));
         if sequential && self.params.read_ahead_blocks > 0 {
-            let ra: Vec<u64> = (b1 + 1..=b1 + self.params.read_ahead_blocks as u64)
+            let ra: Vec<u64> = (last + 1..=last + self.params.read_ahead_blocks as u64)
                 .filter(|&b| !n.blocks.contains_key(&(uid, b)))
                 .collect();
             if !ra.is_empty() {
@@ -373,7 +406,7 @@ impl BufferCache {
 
         // Cache lookup overhead plus the memory copy out to the network
         // buffer, paid on the full request.
-        done + self.params.hit_overhead + self.mem_time(bytes)
+        done + self.params.hit_overhead + self.mem_time(total)
     }
 
     /// Serve a write of `[offset, offset + bytes)` in file `uid`'s local
@@ -389,31 +422,63 @@ impl BufferCache {
         bytes: u64,
         arrival: SimTime,
     ) -> SimTime {
-        let bytes = bytes.max(1);
-        let b0 = offset / self.block;
-        let b1 = (offset + bytes - 1) / self.block;
+        self.write_extents(node, uid, &[(offset, bytes)], arrival)
+    }
+
+    /// Serve a list-I/O write of sorted, disjoint local extents in one
+    /// pass. Under write-behind the lookup overhead and memory copy are
+    /// paid once on the request's total bytes and every touched block
+    /// turns dirty; write-through books each extent's exact byte range
+    /// on the disk queue, head-position aware. [`BufferCache::write`]
+    /// is the single-extent special case.
+    pub fn write_extents(
+        self: &Rc<Self>,
+        node: usize,
+        uid: u64,
+        extents: &[(u64, u64)],
+        arrival: SimTime,
+    ) -> SimTime {
         let mut n = self.nodes[node].borrow_mut();
 
         if !self.params.write_behind {
             // Write-through: disk timing identical in shape to the
-            // uncached path (exact byte extent, head-position aware),
+            // uncached path (exact byte extents, head-position aware),
             // but the written blocks stay resident for readers.
-            let (_, end) = self.book_disk(&mut n, node, uid, offset, bytes, arrival);
-            for b in b0..=b1 {
-                self.insert_block(&mut n, node, (uid, b), end, false, arrival);
+            let mut done = arrival;
+            for &(offset, bytes) in extents {
+                let bytes = bytes.max(1);
+                let (_, end) = self.book_disk(&mut n, node, uid, offset, bytes, arrival);
+                for b in offset / self.block..=(offset + bytes - 1) / self.block {
+                    self.insert_block(&mut n, node, (uid, b), end, false, arrival);
+                }
+                done = done.max(end);
             }
-            return end;
+            return done;
         }
 
-        let mut done = arrival + self.params.hit_overhead + self.mem_time(bytes);
-        for b in b0..=b1 {
+        // Union of touched blocks (extents may share boundary blocks).
+        let mut total = 0u64;
+        let mut blocks: Vec<u64> = Vec::new();
+        for &(offset, bytes) in extents {
+            let bytes = bytes.max(1);
+            total += bytes;
+            blocks.extend(offset / self.block..=(offset + bytes - 1) / self.block);
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        if blocks.is_empty() {
+            return arrival;
+        }
+
+        let mut done = arrival + self.params.hit_overhead + self.mem_time(total);
+        for &b in &blocks {
             if let Some(stall) = self.insert_block(&mut n, node, (uid, b), done, true, arrival) {
                 // The cache was full of dirty data: the writer stalls
                 // behind the eviction writeback.
                 done = done.max(stall);
             }
         }
-        self.counters.add_writes_absorbed(b1 - b0 + 1);
+        self.counters.add_writes_absorbed(blocks.len() as u64);
 
         if n.dirty >= self.high_water && !n.flushing {
             n.flushing = true;
@@ -489,8 +554,14 @@ impl BufferCache {
             {
                 count += 1;
             }
-            let (_, end) =
-                self.book_disk(n, node, uid, first * self.block, count * self.block, arrival);
+            let (_, end) = self.book_disk(
+                n,
+                node,
+                uid,
+                first * self.block,
+                count * self.block,
+                arrival,
+            );
             done = done.max(end);
             for j in 0..count {
                 if let Some(b) = n.blocks.get_mut(&(uid, first + j)) {
@@ -682,7 +753,10 @@ mod tests {
             .with_write_behind(false);
         let (_sim, cache, counters) = rig(params);
         let end = cache.write(0, 4, 0, BLOCK, SimTime::ZERO);
-        assert!(end > SimTime::ZERO + SimDuration::from_millis(1), "paid the disk");
+        assert!(
+            end > SimTime::ZERO + SimDuration::from_millis(1),
+            "paid the disk"
+        );
         assert_eq!(cache.dirty_blocks(0), 0);
         assert_eq!(counters.snapshot().writes_absorbed, 0);
         cache.read(0, 4, 0, BLOCK, end);
@@ -706,6 +780,41 @@ mod tests {
         assert_eq!(counters.snapshot().flushed_blocks, 2);
         // Idempotent: nothing left to write.
         assert_eq!(cache.flush_file(6, done), done);
+    }
+
+    #[test]
+    fn extent_list_reads_serve_in_one_pass() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        let (_sim, cache, counters) = rig(params);
+        let req = [(0, 2 * BLOCK), (4 * BLOCK, BLOCK)];
+        let cold = cache.read_extents(0, 11, &req, SimTime::ZERO);
+        assert!(cold > SimTime::ZERO);
+        let s = counters.snapshot();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 0);
+        // Re-reading the same list hits entirely, at memory speed.
+        let warm = cache.read_extents(0, 11, &req, cold);
+        assert!(warm - cold < cold - SimTime::ZERO);
+        assert_eq!(counters.snapshot().hits, 3);
+    }
+
+    #[test]
+    fn extent_list_writes_count_shared_blocks_once() {
+        let params = CacheParams::lru(64 * BLOCK)
+            .with_block_bytes(BLOCK)
+            .with_read_ahead(0);
+        let (_sim, cache, counters) = rig(params);
+        // Two extents inside the same cache block dirty it once.
+        cache.write_extents(
+            0,
+            12,
+            &[(0, BLOCK / 2), (BLOCK / 2, BLOCK / 2)],
+            SimTime::ZERO,
+        );
+        assert_eq!(counters.snapshot().writes_absorbed, 1);
+        assert_eq!(cache.dirty_blocks(0), 1);
     }
 
     #[test]

@@ -156,7 +156,10 @@ mod tests {
         let balanced = apply_moves(&sizes, &moves);
         let mean = 1500 / 3;
         for b in &balanced {
-            assert!((*b as i64 - mean as i64).unsigned_abs() <= 50, "{balanced:?}");
+            assert!(
+                (*b as i64 - mean as i64).unsigned_abs() <= 50,
+                "{balanced:?}"
+            );
         }
         assert_eq!(balanced.iter().sum::<u64>(), 1500);
     }

@@ -18,7 +18,7 @@
 use std::rc::Rc;
 
 use iosim_msg::{Comm, Payload};
-use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError};
+use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError, IoRequest};
 
 use crate::two_phase::{read_collective, write_collective, Piece, Span};
 
@@ -59,9 +59,7 @@ impl Checkpointer {
             .await
         {
             Ok(fh) => fh,
-            Err(FsError::Exists(_)) => {
-                fs.open(rank, iface, &format!("{name}.meta"), None).await?
-            }
+            Err(FsError::Exists(_)) => fs.open(rank, iface, &format!("{name}.meta"), None).await?,
             Err(e) => return Err(e),
         };
         Ok(Checkpointer {
@@ -93,8 +91,7 @@ impl Checkpointer {
             .collect();
         let epoch = self.epochs.len() as u64;
         let base = self.next_offset;
-        let my_offset = base
-            + sizes[..self.comm.rank()].iter().sum::<u64>();
+        let my_offset = base + sizes[..self.comm.rank()].iter().sum::<u64>();
         // Phase 1+2: collective write of all rank states.
         write_collective(
             &self.comm,
@@ -143,12 +140,8 @@ impl Checkpointer {
             .clone();
         let my_offset = base + sizes[..self.comm.rank()].iter().sum::<u64>();
         let my_size = sizes[self.comm.rank()];
-        let (mut got, _) = read_collective(
-            &self.comm,
-            &self.data,
-            vec![Span::new(my_offset, my_size)],
-        )
-        .await?;
+        let (mut got, _) =
+            read_collective(&self.comm, &self.data, vec![Span::new(my_offset, my_size)]).await?;
         Ok(got.pop().expect("one span requested"))
     }
 
@@ -164,15 +157,19 @@ impl Checkpointer {
 
     /// Rebuild the epoch index from the metadata file (a fresh process
     /// recovering after failure). Collective only in that every rank may
-    /// call it; it issues local reads.
+    /// call it; all records travel as one vectored read (adjacent records
+    /// coalesce into one sequential disk access).
     pub async fn recover_index(&mut self) -> Result<(), FsError> {
         let p = self.comm.size();
         let rec = Self::meta_record_size(p);
         let records = self.meta.size() / rec;
         self.epochs.clear();
         self.next_offset = 0;
-        for k in 0..records {
-            let bytes = self.meta.read_at(k * rec, rec).await?;
+        let all = self
+            .meta
+            .readv(&IoRequest::strided(0, rec, rec, records))
+            .await?;
+        for bytes in all.chunks_exact(rec as usize) {
             let epoch = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
             let base = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
             let sizes: Vec<u64> = bytes[16..]
@@ -247,7 +244,9 @@ mod tests {
             let rank = comm.rank();
             let mut ck = Checkpointer::open(comm, &fs, "ck", true).await.unwrap();
             for e in 0..3u64 {
-                ck.save(Payload::bytes(state_of(rank, e, 64))).await.unwrap();
+                ck.save(Payload::bytes(state_of(rank, e, 64)))
+                    .await
+                    .unwrap();
             }
             assert_eq!(ck.epochs(), 3);
             let e1 = ck.restore(1).await.unwrap().into_bytes();
@@ -265,8 +264,12 @@ mod tests {
             let mut ck = Checkpointer::open(comm.clone(), &fs, "ck", true)
                 .await
                 .unwrap();
-            ck.save(Payload::bytes(state_of(rank, 0, 48))).await.unwrap();
-            ck.save(Payload::bytes(state_of(rank, 1, 48))).await.unwrap();
+            ck.save(Payload::bytes(state_of(rank, 0, 48)))
+                .await
+                .unwrap();
+            ck.save(Payload::bytes(state_of(rank, 1, 48)))
+                .await
+                .unwrap();
             ck.close().await;
             // "Restart": a fresh checkpointer recovers the index from the
             // metadata file and restores the newest epoch.

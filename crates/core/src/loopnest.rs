@@ -68,11 +68,7 @@ pub struct LoopNest {
 
 impl LoopNest {
     /// Build a nest.
-    pub fn new(
-        name: impl Into<String>,
-        trip_counts: &[u64],
-        refs: Vec<ArrayRef>,
-    ) -> LoopNest {
+    pub fn new(name: impl Into<String>, trip_counts: &[u64], refs: Vec<ArrayRef>) -> LoopNest {
         LoopNest {
             name: name.into(),
             loops: trip_counts.iter().map(|&trips| Loop { trips }).collect(),
@@ -122,14 +118,7 @@ impl Plan {
     /// the plan's layout: one call per contiguous segment, with
     /// coalescing when the block spans the contiguous dimension fully
     /// (mirrors [`crate::ooc::OocArray::block_segments`]).
-    pub fn estimated_calls(
-        &self,
-        array: &str,
-        rows: u64,
-        cols: u64,
-        nr: u64,
-        nc: u64,
-    ) -> u64 {
+    pub fn estimated_calls(&self, array: &str, rows: u64, cols: u64, nr: u64, nc: u64) -> u64 {
         match self.layouts.get(array) {
             Some(FileLayout::ColMajor) | None => {
                 if nr == rows {
@@ -152,13 +141,7 @@ impl Plan {
 /// Analyze a program's loop nests over arrays of `rows × cols` elements
 /// of `elem_bytes`, choosing per-array layouts and tiles that fit
 /// `mem_budget` bytes (per array reference kept in memory at once).
-pub fn analyze(
-    nests: &[LoopNest],
-    rows: u64,
-    cols: u64,
-    elem_bytes: u64,
-    mem_budget: u64,
-) -> Plan {
+pub fn analyze(nests: &[LoopNest], rows: u64, cols: u64, elem_bytes: u64, mem_budget: u64) -> Plan {
     // Weighted votes for the conforming layout of each array.
     let mut votes: Vec<ArrayAccess> = Vec::new();
     for nest in nests {
@@ -245,10 +228,8 @@ mod tests {
     #[test]
     fn conflicting_nests_resolve_by_weight() {
         let nests = vec![
-            LoopNest::new("rowwise", &[4, 4], vec![ArrayRef::new("X", 0, 1)])
-                .with_weight(10.0),
-            LoopNest::new("colwise", &[4, 4], vec![ArrayRef::new("X", 1, 0)])
-                .with_weight(1.0),
+            LoopNest::new("rowwise", &[4, 4], vec![ArrayRef::new("X", 0, 1)]).with_weight(10.0),
+            LoopNest::new("colwise", &[4, 4], vec![ArrayRef::new("X", 1, 0)]).with_weight(1.0),
         ];
         // rowwise: inner loop drives the column subscript → col-fastest →
         // row-major conforms; it outweighs colwise.
@@ -280,7 +261,10 @@ mod tests {
         for budget in [256u64, 4096, 1 << 20] {
             let plan = analyze(&nests, 128, 128, 8, budget);
             let (tr, tc) = plan.tiles["A"];
-            assert!(tr * tc * 8 <= budget.max(8 * 128), "{tr}x{tc} over budget {budget}");
+            assert!(
+                tr * tc * 8 <= budget.max(8 * 128),
+                "{tr}x{tc} over budget {budget}"
+            );
             assert!(tr >= 1 && tc >= 1);
         }
     }
@@ -316,10 +300,7 @@ mod tests {
                 for (nr, nc) in [(32u64, 4u64), (4, 32), (8, 8), (32, 32), (1, 1)] {
                     let actual = arr.block_call_count(0, 0, nr, nc) as u64;
                     let predicted = plan2.estimated_calls(name, 32, 32, nr, nc);
-                    assert_eq!(
-                        actual, predicted,
-                        "{name} {layout:?} block {nr}x{nc}"
-                    );
+                    assert_eq!(actual, predicted, "{name} {layout:?} block {nr}x{nc}");
                 }
             }
         });

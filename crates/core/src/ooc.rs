@@ -20,7 +20,7 @@
 use std::rc::Rc;
 
 use iosim_machine::Interface;
-use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError};
+use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError, IoRequest};
 
 /// File layout of a 2-D out-of-core array.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,7 +144,10 @@ impl OocArray {
     /// The segment count is the I/O call count of an unoptimized block
     /// access — the quantity the layout optimization reduces.
     pub fn block_segments(&self, r0: u64, c0: u64, nr: u64, nc: u64) -> Vec<(u64, u64)> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block out of range"
+        );
         if nr == 0 || nc == 0 {
             return Vec::new();
         }
@@ -175,9 +178,14 @@ impl OocArray {
             .collect()
     }
 
+    /// The block's segments as one vectored I/O request.
+    pub fn block_request(&self, r0: u64, c0: u64, nr: u64, nc: u64) -> IoRequest {
+        IoRequest::from_extents(self.block_segments(r0, c0, nr, nc))
+    }
+
     /// Read the block into a row-major local byte buffer (element
     /// `(r0+i, c0+j)` at byte index `(i * nc + j) * elem`). Requires a
-    /// stored array.
+    /// stored array. The segments travel as one vectored request.
     pub async fn read_block_raw(
         &self,
         r0: u64,
@@ -186,9 +194,18 @@ impl OocArray {
         nc: u64,
     ) -> Result<Vec<u8>, FsError> {
         let mut out = vec![0u8; (nr * nc * self.elem) as usize];
+        let data = self.fh.readv(&self.block_request(r0, c0, nr, nc)).await?;
+        let mut cursor = 0usize;
         for (offset, bytes) in self.block_segments(r0, c0, nr, nc) {
-            let data = self.fh.read_at(offset, bytes).await?;
-            self.scatter(offset, &data, r0, c0, nc, &mut out);
+            self.scatter(
+                offset,
+                &data[cursor..cursor + bytes as usize],
+                r0,
+                c0,
+                nc,
+                &mut out,
+            );
+            cursor += bytes as usize;
         }
         Ok(out)
     }
@@ -208,10 +225,14 @@ impl OocArray {
             nr * nc * self.elem,
             "buffer size mismatch"
         );
-        for (offset, bytes) in self.block_segments(r0, c0, nr, nc) {
-            let data = self.gather(offset, bytes, r0, c0, nc, buf);
-            self.fh.write_at(offset, &data).await?;
+        let segments = self.block_segments(r0, c0, nr, nc);
+        let mut data = Vec::with_capacity(buf.len());
+        for &(offset, bytes) in &segments {
+            data.extend_from_slice(&self.gather(offset, bytes, r0, c0, nc, buf));
         }
+        self.fh
+            .writev(&IoRequest::from_extents(segments), &data)
+            .await?;
         Ok(())
     }
 
@@ -242,10 +263,9 @@ impl OocArray {
         nr: u64,
         nc: u64,
     ) -> Result<(), FsError> {
-        for (offset, bytes) in self.block_segments(r0, c0, nr, nc) {
-            self.fh.read_discard_at(offset, bytes).await?;
-        }
-        Ok(())
+        self.fh
+            .readv_discard(&self.block_request(r0, c0, nr, nc))
+            .await
     }
 
     /// Write a row-major `f64` buffer into the block. Requires lengths to
@@ -272,10 +292,9 @@ impl OocArray {
         nr: u64,
         nc: u64,
     ) -> Result<(), FsError> {
-        for (offset, bytes) in self.block_segments(r0, c0, nr, nc) {
-            self.fh.write_discard_at(offset, bytes).await?;
-        }
-        Ok(())
+        self.fh
+            .writev_discard(&self.block_request(r0, c0, nr, nc))
+            .await
     }
 
     /// Close the backing file handle (cost + trace).
@@ -309,7 +328,15 @@ impl OocArray {
 
     /// Collect a contiguous file segment's bytes from the row-major block
     /// buffer.
-    fn gather(&self, seg_offset: u64, bytes: u64, r0: u64, c0: u64, nc: u64, buf: &[u8]) -> Vec<u8> {
+    fn gather(
+        &self,
+        seg_offset: u64,
+        bytes: u64,
+        r0: u64,
+        c0: u64,
+        nc: u64,
+        buf: &[u8],
+    ) -> Vec<u8> {
         let e = self.elem as usize;
         let mut out = Vec::with_capacity(bytes as usize);
         for k in 0..bytes / self.elem {
@@ -385,7 +412,10 @@ mod tests {
                 )
                 .await
                 .unwrap();
-                (a.block_call_count(0, 0, 16, 8), a.block_call_count(0, 0, 8, 8))
+                (
+                    a.block_call_count(0, 0, 16, 8),
+                    a.block_call_count(0, 0, 8, 8),
+                )
             })
         });
         assert_eq!(calls_full, 1);
@@ -464,28 +494,16 @@ mod tests {
         for layout in [FileLayout::RowMajor, FileLayout::ColMajor] {
             let ok = run(move |fs| {
                 Box::pin(async move {
-                    let a = OocArray::create(
-                        &fs,
-                        0,
-                        Interface::UnixStyle,
-                        "a",
-                        10,
-                        10,
-                        layout,
-                        true,
-                    )
-                    .await
-                    .unwrap();
+                    let a =
+                        OocArray::create(&fs, 0, Interface::UnixStyle, "a", 10, 10, layout, true)
+                            .await
+                            .unwrap();
                     // Fill the whole array with f(r, c) = 100 r + c.
-                    let all: Vec<f64> = (0..100)
-                        .map(|i| (i / 10 * 100 + i % 10) as f64)
-                        .collect();
+                    let all: Vec<f64> = (0..100).map(|i| (i / 10 * 100 + i % 10) as f64).collect();
                     a.write_block(0, 0, 10, 10, &all).await.unwrap();
                     // Read a 3x4 block at (5, 2).
                     let b = a.read_block(5, 2, 3, 4).await.unwrap();
-                    (0..3).all(|i| {
-                        (0..4).all(|j| b[i * 4 + j] == ((5 + i) * 100 + 2 + j) as f64)
-                    })
+                    (0..3).all(|i| (0..4).all(|j| b[i * 4 + j] == ((5 + i) * 100 + 2 + j) as f64))
                 })
             });
             assert!(ok, "layout {layout:?}");
@@ -570,7 +588,10 @@ mod tests {
                 )
                 .await
                 .unwrap();
-                (a8.block_segments(0, 0, 4, 2), a16.block_segments(0, 0, 4, 2))
+                (
+                    a8.block_segments(0, 0, 4, 2),
+                    a16.block_segments(0, 0, 4, 2),
+                )
             })
         });
         assert_eq!(seg8.len(), 2);

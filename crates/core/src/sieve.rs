@@ -9,7 +9,7 @@
 //! extent is high and no peer processes are available to exchange with.
 
 use iosim_msg::Payload;
-use iosim_pfs::{FileHandle, FsError};
+use iosim_pfs::{FileHandle, FsError, IoRequest};
 
 use crate::two_phase::{Piece, Span};
 
@@ -48,10 +48,7 @@ fn extent_of(offsets: impl Iterator<Item = (u64, u64)>) -> Option<(u64, u64)> {
 
 /// Whether sorted pieces fully tile their extent (no holes).
 fn fully_covers(pieces: &[Piece], lo: u64, hi: u64) -> bool {
-    let mut sorted: Vec<(u64, u64)> = pieces
-        .iter()
-        .map(|p| (p.offset, p.payload.len))
-        .collect();
+    let mut sorted: Vec<(u64, u64)> = pieces.iter().map(|p| (p.offset, p.payload.len)).collect();
     sorted.sort_unstable();
     let mut cursor = lo;
     for (off, len) in sorted {
@@ -82,7 +79,7 @@ pub async fn write_sieved(fh: &FileHandle, pieces: Vec<Piece>) -> Result<SieveSt
             // Read-modify-write: fetch the extent (clipped to EOF).
             io_calls += 1;
             let have = fh.size().min(hi) - lo;
-            let mut b = fh.read_at(lo, have).await?;
+            let mut b = fh.readv(&IoRequest::contiguous(lo, have)).await?;
             b.resize((hi - lo) as usize, 0);
             b
         };
@@ -91,14 +88,16 @@ pub async fn write_sieved(fh: &FileHandle, pieces: Vec<Piece>) -> Result<SieveSt
             let s = (p.offset - lo) as usize;
             buf[s..s + d.len()].copy_from_slice(d);
         }
-        fh.write_at(lo, &buf).await?;
+        fh.writev(&IoRequest::contiguous(lo, hi - lo), &buf).await?;
         io_calls += 1;
     } else {
         if !covered && lo < fh.size() {
             io_calls += 1;
-            fh.read_discard_at(lo, fh.size().min(hi) - lo).await?;
+            fh.readv_discard(&IoRequest::contiguous(lo, fh.size().min(hi) - lo))
+                .await?;
         }
-        fh.write_discard_at(lo, hi - lo).await?;
+        fh.writev_discard(&IoRequest::contiguous(lo, hi - lo))
+            .await?;
         io_calls += 1;
     }
     Ok(SieveStats {
@@ -124,21 +123,21 @@ pub async fn read_sieved(
         useful_bytes: useful,
         io_calls: 1,
     };
-    match fh.read_at(lo, hi - lo).await {
+    let req = Span::new(lo, hi - lo).to_request();
+    match fh.readv(&req).await {
         Ok(buf) => {
             let out = spans
                 .iter()
                 .map(|s| {
                     Payload::bytes(
-                        buf[(s.offset - lo) as usize..(s.offset - lo + s.len) as usize]
-                            .to_vec(),
+                        buf[(s.offset - lo) as usize..(s.offset - lo + s.len) as usize].to_vec(),
                     )
                 })
                 .collect();
             Ok((out, stats))
         }
         Err(FsError::NotStored(_)) => {
-            fh.read_discard_at(lo, hi - lo).await?;
+            fh.readv_discard(&req).await?;
             Ok((
                 spans.iter().map(|s| Payload::synthetic(s.len)).collect(),
                 stats,

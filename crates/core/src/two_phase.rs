@@ -16,7 +16,7 @@
 //! optimized file is byte-identical to the unoptimized one.
 
 use iosim_msg::{Comm, Payload};
-use iosim_pfs::{FileHandle, FsError};
+use iosim_pfs::{FileHandle, FsError, IoRequest};
 
 /// A piece of file data held (for writes) or wanted (for reads) by a rank.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,9 +44,20 @@ impl Piece {
         }
     }
 
+    /// The piece's file extent `(offset, len)`.
+    pub fn extent(&self) -> (u64, u64) {
+        (self.offset, self.payload.len)
+    }
+
     fn end(&self) -> u64 {
         self.offset + self.payload.len
     }
+}
+
+/// Describe `pieces` as one vectored I/O request (extent list only; the
+/// payload, if any, travels separately).
+pub fn pieces_request(pieces: &[Piece]) -> IoRequest {
+    IoRequest::from_extents(pieces.iter().map(Piece::extent).collect())
 }
 
 /// A byte range in the file.
@@ -62,6 +73,11 @@ impl Span {
     /// Construct a span.
     pub fn new(offset: u64, len: u64) -> Span {
         Span { offset, len }
+    }
+
+    /// The span as a single-extent vectored I/O request.
+    pub fn to_request(self) -> IoRequest {
+        IoRequest::contiguous(self.offset, self.len)
     }
 
     fn end(&self) -> u64 {
@@ -234,9 +250,9 @@ pub async fn write_collective(
     fh: &FileHandle,
     pieces: Vec<Piece>,
 ) -> Result<TwoPhaseStats, FsError> {
-    let (lo, hi) = pieces
-        .iter()
-        .fold((u64::MAX, 0u64), |(l, h), p| (l.min(p.offset), h.max(p.end())));
+    let (lo, hi) = pieces.iter().fold((u64::MAX, 0u64), |(l, h), p| {
+        (l.min(p.offset), h.max(p.end()))
+    });
     let Some(domain) = agree_domain(comm, lo.min(hi), hi).await else {
         return Ok(TwoPhaseStats::default());
     };
@@ -277,17 +293,23 @@ pub async fn write_collective(
     let mut io_calls = 0u64;
     if synthetic_bytes > 0 || mine.iter().any(|p| p.payload.data.is_none()) {
         // Synthetic path: one sequential call covering the region's share.
-        let len: u64 =
-            mine.iter().map(|p| p.payload.len).sum::<u64>() + synthetic_bytes;
+        let len: u64 = mine.iter().map(|p| p.payload.len).sum::<u64>() + synthetic_bytes;
         if len > 0 {
-            fh.write_discard_at(region.offset, len).await?;
+            fh.writev_discard(&Span::new(region.offset, len).to_request())
+                .await?;
             io_calls = 1;
         }
     } else {
-        for run in merge_runs(mine) {
-            let data = run.payload.data.expect("real path");
-            fh.write_at(run.offset, &data).await?;
-            io_calls += 1;
+        // One vectored write over the merged runs; in the usual case the
+        // runs tile the region and this is a single sequential call.
+        let runs = merge_runs(mine);
+        let mut data = Vec::new();
+        for run in &runs {
+            data.extend_from_slice(run.payload.data.as_ref().expect("real path"));
+        }
+        if !runs.is_empty() {
+            fh.writev(&pieces_request(&runs), &data).await?;
+            io_calls = runs.len() as u64;
         }
     }
     Ok(TwoPhaseStats {
@@ -305,9 +327,7 @@ fn clip_piece(p: &Piece, lo: u64, hi: u64) -> Option<Piece> {
         return None;
     }
     let payload = match &p.payload.data {
-        Some(d) => Payload::bytes(
-            d[(s - p.offset) as usize..(e - p.offset) as usize].to_vec(),
-        ),
+        Some(d) => Payload::bytes(d[(s - p.offset) as usize..(e - p.offset) as usize].to_vec()),
         None => Payload::synthetic(e - s),
     };
     Some(Piece { offset: s, payload })
@@ -329,9 +349,9 @@ pub async fn write_collective_buffered(
     buffer_bytes: u64,
 ) -> Result<TwoPhaseStats, FsError> {
     assert!(buffer_bytes > 0, "buffer must be positive");
-    let (lo, hi) = pieces
-        .iter()
-        .fold((u64::MAX, 0u64), |(l, h), p| (l.min(p.offset), h.max(p.end())));
+    let (lo, hi) = pieces.iter().fold((u64::MAX, 0u64), |(l, h), p| {
+        (l.min(p.offset), h.max(p.end()))
+    });
     let Some(domain) = agree_domain(comm, lo.min(hi), hi).await else {
         return Ok(TwoPhaseStats::default());
     };
@@ -362,9 +382,9 @@ pub async fn read_collective(
     fh: &FileHandle,
     wants: Vec<Span>,
 ) -> Result<(Vec<Payload>, TwoPhaseStats), FsError> {
-    let (lo, hi) = wants
-        .iter()
-        .fold((u64::MAX, 0u64), |(l, h), s| (l.min(s.offset), h.max(s.end())));
+    let (lo, hi) = wants.iter().fold((u64::MAX, 0u64), |(l, h), s| {
+        (l.min(s.offset), h.max(s.end()))
+    });
     let Some(domain) = agree_domain(comm, lo.min(hi), hi).await else {
         return Ok((Vec::new(), TwoPhaseStats::default()));
     };
@@ -421,10 +441,11 @@ pub async fn read_collective(
     let mut io_calls = 0u64;
     let region_data: Option<Vec<u8>> = if ext_lo < ext_hi {
         io_calls = 1;
-        match fh.read_at(ext_lo, ext_hi - ext_lo).await {
+        let req = Span::new(ext_lo, ext_hi - ext_lo).to_request();
+        match fh.readv(&req).await {
             Ok(d) => Some(d),
             Err(FsError::NotStored(_)) => {
-                fh.read_discard_at(ext_lo, ext_hi - ext_lo).await?;
+                fh.readv_discard(&req).await?;
                 None
             }
             Err(e) => return Err(e),
@@ -522,10 +543,7 @@ mod tests {
 
     #[test]
     fn merge_runs_keeps_gaps_apart() {
-        let runs = merge_runs(vec![
-            Piece::synthetic(0, 5),
-            Piece::synthetic(10, 5),
-        ]);
+        let runs = merge_runs(vec![Piece::synthetic(0, 5), Piece::synthetic(10, 5)]);
         assert_eq!(runs.len(), 2);
     }
 
@@ -570,7 +588,10 @@ mod tests {
         assert_eq!(clip_piece(&p, 150, 200), None);
         let c = clip_piece(&p, 110, 130).expect("intersects");
         assert_eq!(c.offset, 110);
-        assert_eq!(c.payload.data.as_ref().unwrap().as_slice(), &(10..30u8).collect::<Vec<u8>>()[..]);
+        assert_eq!(
+            c.payload.data.as_ref().unwrap().as_slice(),
+            &(10..30u8).collect::<Vec<u8>>()[..]
+        );
         // Synthetic clipping preserves length only.
         let s = Piece::synthetic(0, 100);
         let cs = clip_piece(&s, 90, 500).expect("intersects");

@@ -430,10 +430,7 @@ mod tests {
         let t0 = n.transfer_time(0, 0);
         assert_eq!(t0, SimDuration::from_micros(50));
         let t = n.transfer_time(80_000_000, 10);
-        assert_eq!(
-            t,
-            SimDuration::from_micros(60) + SimDuration::from_secs(1)
-        );
+        assert_eq!(t, SimDuration::from_micros(60) + SimDuration::from_secs(1));
     }
 
     #[test]
@@ -462,8 +459,7 @@ mod tests {
         let m = presets::sp2();
         let agg = m.aggregate_disk_bandwidth();
         assert!(
-            (agg - m.disk.bandwidth_bps * (m.io_nodes * m.disks_per_io_node) as f64).abs()
-                < 1e-6
+            (agg - m.disk.bandwidth_bps * (m.io_nodes * m.disks_per_io_node) as f64).abs() < 1e-6
         );
     }
 
@@ -491,7 +487,11 @@ mod tests {
 
     #[test]
     fn presets_default_to_no_cache() {
-        for cfg in [presets::paragon_large(), presets::paragon_small(), presets::sp2()] {
+        for cfg in [
+            presets::paragon_large(),
+            presets::paragon_small(),
+            presets::sp2(),
+        ] {
             assert_eq!(cfg.cache.policy, CachePolicy::None, "{}", cfg.name);
             assert!(!cfg.cache.enabled());
         }
@@ -539,10 +539,7 @@ mod tests {
     #[test]
     fn iface_returns_matching_costs() {
         let m = presets::paragon_large();
-        assert_eq!(
-            m.iface(Interface::Fortran).read_call,
-            m.fortran.read_call
-        );
+        assert_eq!(m.iface(Interface::Fortran).read_call, m.fortran.read_call);
         assert_eq!(m.iface(Interface::Passion).seek, m.passion.seek);
         assert!(m.fortran.read_call > m.passion.read_call);
     }

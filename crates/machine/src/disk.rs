@@ -102,14 +102,8 @@ impl DiskGeometry {
     /// Service time for a request of `bytes` at `offset`, with the head
     /// currently over the cylinder of `head_at` (`None` = already on
     /// cylinder, sequential continuation: no seek, no rotational delay).
-    pub fn service_time(
-        &self,
-        head_at: Option<u64>,
-        offset: u64,
-        bytes: u64,
-    ) -> SimDuration {
-        let transfer =
-            SimDuration::from_secs_f64(bytes as f64 / self.transfer_bps());
+    pub fn service_time(&self, head_at: Option<u64>, offset: u64, bytes: u64) -> SimDuration {
+        let transfer = SimDuration::from_secs_f64(bytes as f64 / self.transfer_bps());
         match head_at {
             None => self.overhead + transfer,
             Some(prev) => {
@@ -117,9 +111,7 @@ impl DiskGeometry {
                 let dist = prev.abs_diff(target);
                 // Average rotational latency: half a revolution whenever a
                 // seek (even track-to-track) breaks the stream.
-                let rot = SimDuration::from_secs_f64(
-                    self.revolution().as_secs_f64() / 2.0,
-                );
+                let rot = SimDuration::from_secs_f64(self.revolution().as_secs_f64() / 2.0);
                 self.overhead + self.seek_time(dist) + rot + transfer
             }
         }

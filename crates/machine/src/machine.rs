@@ -138,12 +138,7 @@ impl Machine {
 
     /// Disk service time at I/O node `io` for one request, including that
     /// node's speed factor (failure injection). Flat-cost model.
-    pub fn disk_service_time(
-        &self,
-        io: usize,
-        bytes: u64,
-        seek: bool,
-    ) -> SimDuration {
+    pub fn disk_service_time(&self, io: usize, bytes: u64, seek: bool) -> SimDuration {
         self.apply_speed(io, self.cfg.disk.service_time(bytes, seek))
     }
 
@@ -301,12 +296,8 @@ mod tests {
         let m = Machine::new(sim.handle(), cfg);
         let geo = DiskGeometry::classic_1995();
         let near = m.disk_service_positioned(0, Some(0), geo.cylinder_bytes(), 4096);
-        let far = m.disk_service_positioned(
-            0,
-            Some(0),
-            geo.cylinder_bytes() * (geo.cylinders - 1),
-            4096,
-        );
+        let far =
+            m.disk_service_positioned(0, Some(0), geo.cylinder_bytes() * (geo.cylinders - 1), 4096);
         assert!(
             far > near + SimDuration::from_millis(5),
             "full-stroke {far} should dwarf track-to-track {near}"

@@ -247,7 +247,8 @@ mod tests {
     #[test]
     fn presets_validate() {
         for cfg in [paragon_large(), paragon_small(), sp2(), modern_cluster()] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 
@@ -269,10 +270,8 @@ mod tests {
         let m = paragon_large();
         let service =
             m.disk.service_time(68 << 10, false).as_secs_f64() + 0.85e-3 /* net */;
-        let fortran_read =
-            m.iface(Interface::Fortran).read_call.as_secs_f64() + service;
-        let passion_read =
-            m.iface(Interface::Passion).read_call.as_secs_f64() + service;
+        let fortran_read = m.iface(Interface::Fortran).read_call.as_secs_f64() + service;
+        let passion_read = m.iface(Interface::Passion).read_call.as_secs_f64() + service;
         assert!(
             (fortran_read - 0.106).abs() < 0.01,
             "fortran read {fortran_read}"

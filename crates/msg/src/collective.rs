@@ -57,7 +57,11 @@ impl Comm {
                 let (src, p) = self.recv(MatchSrc::Any, t).await;
                 out[src] = Some(p);
             }
-            Some(out.into_iter().map(|p| p.expect("all ranks sent")).collect())
+            Some(
+                out.into_iter()
+                    .map(|p| p.expect("all ranks sent"))
+                    .collect(),
+            )
         } else {
             self.send(root, t, payload).await;
             None
@@ -81,7 +85,9 @@ impl Comm {
             let (src, p) = self.recv(MatchSrc::Any, t).await;
             out[src] = Some(p);
         }
-        out.into_iter().map(|p| p.expect("all ranks sent")).collect()
+        out.into_iter()
+            .map(|p| p.expect("all ranks sent"))
+            .collect()
     }
 
     /// Personalized all-to-all: `to_each[d]` goes to rank `d`; returns the
@@ -112,7 +118,9 @@ impl Comm {
             let (src, p) = self.recv(MatchSrc::Any, t).await;
             out[src] = Some(p);
         }
-        out.into_iter().map(|p| p.expect("all ranks sent")).collect()
+        out.into_iter()
+            .map(|p| p.expect("all ranks sent"))
+            .collect()
     }
 
     /// Personalized all-to-all with the pairwise-exchange schedule: in
@@ -137,13 +145,13 @@ impl Comm {
             // Post the send non-blockingly so reciprocal rounds overlap.
             let round_tag = t + ((k as u64) << 32);
             let s = self.isend(send_to, round_tag, to_each[send_to].clone());
-            let (_, p) = self
-                .recv(MatchSrc::Rank(recv_from), round_tag)
-                .await;
+            let (_, p) = self.recv(MatchSrc::Rank(recv_from), round_tag).await;
             s.await;
             out[recv_from] = Some(p);
         }
-        out.into_iter().map(|p| p.expect("all rounds ran")).collect()
+        out.into_iter()
+            .map(|p| p.expect("all rounds ran"))
+            .collect()
     }
 
     /// Sum-reduce an `f64` across ranks; every rank returns the total.
@@ -155,9 +163,7 @@ impl Comm {
             let mut acc = value;
             for _ in 1..n {
                 let (_, p) = self.recv(MatchSrc::Any, t1).await;
-                acc += f64::from_le_bytes(
-                    p.into_bytes().try_into().expect("8-byte f64 payload"),
-                );
+                acc += f64::from_le_bytes(p.into_bytes().try_into().expect("8-byte f64 payload"));
             }
             for dst in 1..n {
                 self.send(dst, t2, Payload::bytes(acc.to_le_bytes().to_vec()))
@@ -203,10 +209,10 @@ impl Comm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::World;
     use iosim_machine::{presets, Machine};
     use iosim_simkit::executor::{join_all, Sim};
     use iosim_simkit::time::SimTime;
-    use crate::comm::World;
 
     /// Run `f(comm)` on every rank of an `n`-rank world and collect results.
     fn run_ranks<T: 'static, F, Fut>(n: usize, f: F) -> Vec<T>
@@ -235,9 +241,7 @@ mod tests {
             c.barrier().await;
             h.now()
         });
-        let all_after_slowest = times
-            .iter()
-            .all(|&t| t >= SimTime(40_000_000));
+        let all_after_slowest = times.iter().all(|&t| t >= SimTime(40_000_000));
         assert!(all_after_slowest, "{times:?}");
     }
 
@@ -261,7 +265,10 @@ mod tests {
             c.gather(0, Payload::bytes(vec![c.rank() as u8])).await
         });
         let at_root = outs[0].as_ref().expect("root has the gather");
-        let vals: Vec<u8> = at_root.iter().map(|p| p.data.as_ref().unwrap()[0]).collect();
+        let vals: Vec<u8> = at_root
+            .iter()
+            .map(|p| p.data.as_ref().unwrap()[0])
+            .collect();
         assert_eq!(vals, vec![0, 1, 2, 3]);
         assert!(outs[1].is_none());
     }
@@ -270,7 +277,9 @@ mod tests {
     fn allgather_gives_everyone_everything() {
         let outs = run_ranks(3, |c| async move {
             let got = c.allgather(Payload::bytes(vec![c.rank() as u8 * 10])).await;
-            got.iter().map(|p| p.data.as_ref().unwrap()[0]).collect::<Vec<u8>>()
+            got.iter()
+                .map(|p| p.data.as_ref().unwrap()[0])
+                .collect::<Vec<u8>>()
         });
         for o in outs {
             assert_eq!(o, vec![0, 10, 20]);
@@ -281,9 +290,7 @@ mod tests {
     fn alltoallv_transposes_payloads() {
         let outs = run_ranks(4, |c| async move {
             let me = c.rank() as u8;
-            let to_each: Vec<Payload> = (0..4)
-                .map(|d| Payload::bytes(vec![me, d as u8]))
-                .collect();
+            let to_each: Vec<Payload> = (0..4).map(|d| Payload::bytes(vec![me, d as u8])).collect();
             let got = c.alltoallv(to_each).await;
             got.iter()
                 .map(|p| p.data.as_ref().unwrap().clone())
@@ -319,8 +326,7 @@ mod tests {
         let time_of = |pairwise: bool| -> f64 {
             let outs = run_ranks(16, move |c| async move {
                 let h = c.machine().handle().clone();
-                let to_each: Vec<Payload> =
-                    (0..16).map(|_| Payload::synthetic(1 << 20)).collect();
+                let to_each: Vec<Payload> = (0..16).map(|_| Payload::synthetic(1 << 20)).collect();
                 if pairwise {
                     c.alltoallv_pairwise(to_each).await;
                 } else {
@@ -371,8 +377,7 @@ mod tests {
     #[test]
     fn synthetic_payloads_flow_through_alltoall() {
         let outs = run_ranks(3, |c| async move {
-            let to_each: Vec<Payload> =
-                (0..3).map(|_| Payload::synthetic(1 << 20)).collect();
+            let to_each: Vec<Payload> = (0..3).map(|_| Payload::synthetic(1 << 20)).collect();
             let got = c.alltoallv(to_each).await;
             got.iter().map(|p| p.len).sum::<u64>()
         });

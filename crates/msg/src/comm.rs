@@ -94,7 +94,9 @@ impl World {
         World {
             inner: Rc::new(WorldInner {
                 machine,
-                mailboxes: (0..size).map(|_| RefCell::new(Mailbox::default())).collect(),
+                mailboxes: (0..size)
+                    .map(|_| RefCell::new(Mailbox::default()))
+                    .collect(),
             }),
             size,
         }
@@ -413,7 +415,10 @@ mod tests {
         });
         sim.run();
         let t = jh.try_take().unwrap();
-        assert!(t > 0.19, "two sends through one NIC should take ~0.2 s: {t}");
+        assert!(
+            t > 0.19,
+            "two sends through one NIC should take ~0.2 s: {t}"
+        );
     }
 
     #[test]

@@ -79,9 +79,7 @@ impl Comm {
             } else if me + bit < n {
                 let src = ((me + bit) + root) % n;
                 let (_, p) = self.recv(MatchSrc::Rank(src), t).await;
-                acc += f64::from_le_bytes(
-                    p.into_bytes().try_into().expect("8-byte partial"),
-                );
+                acc += f64::from_le_bytes(p.into_bytes().try_into().expect("8-byte partial"));
             }
         }
         (self.rank() == root).then_some(acc)
@@ -123,8 +121,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8, 13, 32] {
             for root in [0usize, n / 2, n - 1] {
                 let vals = run_ranks(n, move |c| async move {
-                    let p = (c.rank() == root)
-                        .then(|| Payload::bytes(vec![7, root as u8]));
+                    let p = (c.rank() == root).then(|| Payload::bytes(vec![7, root as u8]));
                     c.bcast_tree(root, p).await.into_bytes()
                 });
                 for v in vals {

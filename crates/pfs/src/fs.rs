@@ -10,6 +10,16 @@
 //! is recorded with the trace collector, which yields the paper's
 //! Tables 2–3 directly.
 //!
+//! Noncontiguous accesses travel as an [`IoRequest`] extent list through
+//! [`FileHandle::readv`] / [`FileHandle::writev`]. Under
+//! [`Interface::Passion`] the whole list is serviced as **list I/O**:
+//! one interface call, extents coalesced, and each touched I/O node's
+//! disk queue booked once per request (per-request overhead paid once,
+//! later extents adding only transfer and intra-request seek costs).
+//! Under the UNIX-style and Fortran interfaces the same request
+//! degenerates to the historical per-fragment loop — the paper's
+//! interface contrast, now expressed per request.
+//!
 //! Files either **store real bytes** (so correctness of optimized I/O
 //! paths can be asserted byte-for-byte) or are **synthetic** (timing only,
 //! for the multi-gigabyte SCF workloads).
@@ -33,6 +43,7 @@ use iosim_simkit::time::SimTime;
 use iosim_trace::{OpKind, TraceCollector};
 
 use crate::layout::Striping;
+use crate::request::IoRequest;
 
 /// Hard cap on stored-file size; synthetic files have no cap. Guards
 /// against accidentally materializing a paper-scale (37 GB) workload.
@@ -107,8 +118,7 @@ struct FsInner {
 }
 
 /// Options for creating a file.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CreateOptions {
     /// Keep real bytes (subject to [`STORED_FILE_CAP`]).
     pub stored: bool,
@@ -121,7 +131,6 @@ pub struct CreateOptions {
     /// defaults to all — PFS's default stripe attributes).
     pub stripe_factor: Option<usize>,
 }
-
 
 /// The parallel file system bound to one machine.
 pub struct FileSystem {
@@ -168,11 +177,7 @@ impl FileSystem {
     }
 
     /// Create a file (no I/O cost; creation cost is charged by `open`).
-    pub fn create(
-        self: &Rc<Self>,
-        name: &str,
-        opts: CreateOptions,
-    ) -> Result<(), FsError> {
+    pub fn create(self: &Rc<Self>, name: &str, opts: CreateOptions) -> Result<(), FsError> {
         let mut inner = self.inner.borrow_mut();
         if inner.files.contains_key(name) {
             return Err(FsError::Exists(name.into()));
@@ -180,10 +185,7 @@ impl FileSystem {
         let uid = inner.next_uid;
         inner.next_uid += 1;
         let io_nodes = self.machine.io_nodes();
-        let factor = opts
-            .stripe_factor
-            .unwrap_or(io_nodes)
-            .clamp(1, io_nodes);
+        let factor = opts.stripe_factor.unwrap_or(io_nodes).clamp(1, io_nodes);
         let striping = Striping::new(
             opts.stripe_unit
                 .unwrap_or(self.machine.cfg().default_stripe_unit),
@@ -330,6 +332,94 @@ impl FileSystem {
         latest
     }
 
+    /// Book one list-I/O request: split the (sorted, coalesced) extent
+    /// list per I/O node via the striping, merge per-node adjacent local
+    /// runs, and book each touched node's disk queue **once**, charging
+    /// the per-request overhead a single time plus a head-position-aware
+    /// transfer (and seek) cost per local run. One request and one
+    /// response cross the network per touched node.
+    #[allow(clippy::too_many_arguments)]
+    fn book_list(
+        &self,
+        rank: usize,
+        striping: Striping,
+        node_base: usize,
+        uid: u64,
+        extents: &[(u64, u64)],
+        is_read: bool,
+    ) -> SimTime {
+        let h = self.machine.handle();
+        let now = h.now();
+        let cfg = self.machine.cfg();
+        let io_nodes = self.machine.io_nodes();
+        // Scatter the global extents into per-node local extent lists.
+        let mut local: Vec<Vec<(u64, u64)>> = vec![Vec::new(); io_nodes];
+        for &(off, len) in extents {
+            for run in striping.runs(off, len) {
+                let node = (node_base + run.io_node) % io_nodes;
+                local[node].push((run.local_offset, run.bytes));
+            }
+        }
+        let mut latest = now;
+        let mut inner = self.inner.borrow_mut();
+        for (node, mut runs) in local.into_iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            runs.sort_unstable();
+            // Disjoint global extents can be contiguous in a node's
+            // local space: merge adjacent local runs first.
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+            for (off, len) in runs {
+                match merged.last_mut() {
+                    Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
+                    _ => merged.push((off, len)),
+                }
+            }
+            let node_bytes: u64 = merged.iter().map(|&(_, len)| len).sum();
+            let hops = self.machine.topology().io_hops(rank, node);
+            let request_bytes = if is_read { 64 } else { node_bytes };
+            let arrival = now + cfg.net.transfer_time(request_bytes, hops);
+            let end = if let Some(cache) = &self.cache {
+                if is_read {
+                    cache.read_extents(node, uid, &merged, arrival)
+                } else {
+                    cache.write_extents(node, uid, &merged, arrival)
+                }
+            } else {
+                let pos = &mut inner.disk_pos[node];
+                let prev_end = match *pos {
+                    Some((prev_uid, end)) if prev_uid == uid => Some(end),
+                    _ => None,
+                };
+                let (off0, len0) = merged[0];
+                let mut svc = self
+                    .machine
+                    .disk_service_positioned(node, prev_end, off0, len0);
+                let mut head = off0 + len0;
+                // Later runs add their transfer (and an intra-request
+                // seek when discontiguous) but not another per-request
+                // overhead: the node services the whole list as one
+                // daemon request.
+                let base = self.machine.disk_service_time(node, 0, false);
+                for &(off, len) in &merged[1..] {
+                    svc += self
+                        .machine
+                        .disk_service_positioned(node, Some(head), off, len)
+                        .saturating_sub(base);
+                    head = off + len;
+                }
+                *pos = Some((uid, head));
+                let (_, end) = self.machine.io_queue(node).reserve_at(arrival, svc);
+                end
+            };
+            let response_bytes = if is_read { node_bytes } else { 0 };
+            let done = end + cfg.net.transfer_time(response_bytes, hops);
+            latest = latest.max(done);
+        }
+        latest
+    }
+
     /// Per-I/O-node busy durations (for balance diagnostics).
     pub fn io_busy_profile(&self) -> Vec<f64> {
         (0..self.machine.io_nodes())
@@ -467,6 +557,55 @@ impl FileHandle {
         self.fs.trace.record(self.rank, kind, start, h.now(), len);
     }
 
+    /// The PASSION list-I/O service path: one interface call for the
+    /// whole request, the coalesced extent list booked once per I/O
+    /// node, and the whole thing traced as a single data operation.
+    async fn listio_op(&self, kind: OpKind, req: &IoRequest) {
+        let h = self.fs.machine.handle().clone();
+        let start = h.now();
+        let costs = self.fs.machine.cfg().iface(self.iface);
+        let call = match kind {
+            OpKind::Read => costs.read_call,
+            OpKind::Write => costs.write_call,
+            _ => unreachable!("listio_op is only for read/write"),
+        };
+        h.sleep(call).await;
+        let (striping, node_base, uid) = {
+            let f = self.file.borrow();
+            (f.striping, f.node_base, f.uid)
+        };
+        let done = self.fs.book_list(
+            self.rank,
+            striping,
+            node_base,
+            uid,
+            &req.coalesced(),
+            kind == OpKind::Read,
+        );
+        h.sleep_until(done).await;
+        self.fs
+            .trace
+            .record(self.rank, kind, start, h.now(), req.total_bytes());
+    }
+
+    /// Whether a request takes the list-I/O service path: PASSION's
+    /// vectored interface on a genuinely noncontiguous request. A
+    /// single-fragment request costs the same either way, so it stays on
+    /// the fragment engine (keeping `readv`/`read_at` timing-identical
+    /// for contiguous accesses under every interface).
+    fn is_listio(&self, req: &IoRequest) -> bool {
+        matches!(self.iface, Interface::Passion) && req.fragments() > 1
+    }
+
+    /// Per-request shape accounting for the trace layer.
+    fn note_listio(&self, req: &IoRequest) {
+        self.fs.trace.listio().add_request(
+            req.fragments() as u64,
+            req.coalesced().len() as u64,
+            req.total_bytes(),
+        );
+    }
+
     fn check_read(&self, offset: u64, len: u64) -> Result<(), FsError> {
         let f = self.file.borrow();
         if offset + len > f.size {
@@ -479,31 +618,107 @@ impl FileHandle {
         Ok(())
     }
 
+    /// Require stored bytes (payload-returning reads).
+    fn check_stored(&self) -> Result<(), FsError> {
+        let f = self.file.borrow();
+        if matches!(f.content, Content::Synthetic) {
+            return Err(FsError::NotStored(f.name.clone()));
+        }
+        Ok(())
+    }
+
+    /// Copy `[offset, offset + len)` out of the stored content.
+    fn extract_into(&self, offset: u64, len: u64, out: &mut Vec<u8>) {
+        let f = self.file.borrow();
+        let Content::Stored(data) = &f.content else {
+            unreachable!("stored-ness checked before the timed op")
+        };
+        out.extend_from_slice(&data[offset as usize..(offset + len) as usize]);
+    }
+
+    /// One read extent through the fragment engine; payload-vs-discard
+    /// is the `want_bytes` mode (the single servicing routine behind
+    /// `read_at` and `read_discard_at`).
+    async fn read_one(
+        &self,
+        offset: u64,
+        len: u64,
+        want_bytes: bool,
+    ) -> Result<Option<Vec<u8>>, FsError> {
+        self.check_read(offset, len)?;
+        if want_bytes {
+            self.check_stored()?;
+        }
+        self.data_op(OpKind::Read, offset, len).await;
+        Ok(want_bytes.then(|| {
+            let mut out = Vec::with_capacity(len as usize);
+            self.extract_into(offset, len, &mut out);
+            out
+        }))
+    }
+
     /// Read `len` bytes at `offset` (pread-style, no Seek op), returning
     /// the data. Errors on synthetic files — use
     /// [`FileHandle::read_discard_at`] for those.
     pub async fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
-        self.check_read(offset, len)?;
-        {
-            let f = self.file.borrow();
-            if matches!(f.content, Content::Synthetic) {
-                return Err(FsError::NotStored(f.name.clone()));
-            }
-        }
-        self.data_op(OpKind::Read, offset, len).await;
-        let f = self.file.borrow();
-        let Content::Stored(data) = &f.content else {
-            unreachable!("checked above")
-        };
-        Ok(data[offset as usize..(offset + len) as usize].to_vec())
+        Ok(self
+            .read_one(offset, len, true)
+            .await?
+            .expect("payload mode returns bytes"))
     }
 
     /// Read `len` bytes at `offset`, discarding data (works on synthetic
     /// and stored files alike; timing and tracing identical to `read_at`).
     pub async fn read_discard_at(&self, offset: u64, len: u64) -> Result<(), FsError> {
-        self.check_read(offset, len)?;
-        self.data_op(OpKind::Read, offset, len).await;
-        Ok(())
+        self.read_one(offset, len, false).await.map(|_| ())
+    }
+
+    /// Vectored read of a whole [`IoRequest`], returning the fragments'
+    /// bytes concatenated in extent order. Under
+    /// [`Interface::Passion`] a multi-fragment request is serviced as
+    /// list I/O (one call, one booking per I/O node); under other
+    /// interfaces it is the exact equivalent of a `read_at` fragment
+    /// loop. Errors on synthetic files — use
+    /// [`FileHandle::readv_discard`] for those.
+    pub async fn readv(&self, req: &IoRequest) -> Result<Vec<u8>, FsError> {
+        Ok(self.vectored_read(req, true).await?.unwrap_or_default())
+    }
+
+    /// Vectored read, discarding data (synthetic and stored files
+    /// alike; timing and tracing identical to `readv`).
+    pub async fn readv_discard(&self, req: &IoRequest) -> Result<(), FsError> {
+        self.vectored_read(req, false).await.map(|_| ())
+    }
+
+    async fn vectored_read(
+        &self,
+        req: &IoRequest,
+        want_bytes: bool,
+    ) -> Result<Option<Vec<u8>>, FsError> {
+        for &(off, len) in req.extents() {
+            self.check_read(off, len)?;
+        }
+        if want_bytes {
+            self.check_stored()?;
+        }
+        if req.is_empty() {
+            return Ok(want_bytes.then(Vec::new));
+        }
+        self.note_listio(req);
+        if self.is_listio(req) {
+            self.listio_op(OpKind::Read, req).await;
+        } else {
+            for &(off, len) in req.extents() {
+                self.data_op(OpKind::Read, off, len).await;
+            }
+        }
+        Ok(want_bytes.then(|| {
+            let mut out = Vec::with_capacity(req.total_bytes() as usize);
+            for &(off, len) in req.extents() {
+                self.extract_into(off, len, &mut out);
+            }
+            out
+        }))
     }
 
     /// Sequential read from the file pointer, advancing it.
@@ -522,9 +737,12 @@ impl FileHandle {
         Ok(())
     }
 
-    fn store_bytes(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+    /// Untimed bookkeeping of one write extent: cap check, growth, and —
+    /// in payload mode — the byte copy. `data` is `None` for discard
+    /// (timing-only) writes; either mode grows the file size.
+    fn note_write(&self, offset: u64, len: u64, data: Option<&[u8]>) -> Result<(), FsError> {
         let mut f = self.file.borrow_mut();
-        let end = offset + data.len() as u64;
+        let end = offset + len;
         if let Content::Stored(buf) = &mut f.content {
             if end > STORED_FILE_CAP {
                 return Err(FsError::TooLarge(f.name.clone()));
@@ -532,36 +750,76 @@ impl FileHandle {
             if buf.len() < end as usize {
                 buf.resize(end as usize, 0);
             }
-            buf[offset as usize..end as usize].copy_from_slice(data);
+            if let Some(d) = data {
+                buf[offset as usize..end as usize].copy_from_slice(d);
+            }
         }
         f.size = f.size.max(end);
+        Ok(())
+    }
+
+    /// One write extent through the fragment engine; payload-vs-discard
+    /// is the `data` mode (the single servicing routine behind
+    /// `write_at` and `write_discard_at`).
+    async fn write_one(&self, offset: u64, len: u64, data: Option<&[u8]>) -> Result<(), FsError> {
+        self.note_write(offset, len, data)?;
+        self.data_op(OpKind::Write, offset, len).await;
         Ok(())
     }
 
     /// Write `data` at `offset` (pwrite-style). Stores bytes when the file
     /// is stored; always updates size and timing.
     pub async fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
-        self.store_bytes(offset, data)?;
-        self.data_op(OpKind::Write, offset, data.len() as u64).await;
-        Ok(())
+        self.write_one(offset, data.len() as u64, Some(data)).await
     }
 
     /// Write `len` synthetic bytes at `offset` (timing only; size grows).
     pub async fn write_discard_at(&self, offset: u64, len: u64) -> Result<(), FsError> {
-        {
-            let mut f = self.file.borrow_mut();
-            if matches!(f.content, Content::Stored(_)) && offset + len > STORED_FILE_CAP {
-                return Err(FsError::TooLarge(f.name.clone()));
-            }
-            if let Content::Stored(buf) = &mut f.content {
-                let end = (offset + len) as usize;
-                if buf.len() < end {
-                    buf.resize(end, 0);
-                }
-            }
-            f.size = f.size.max(offset + len);
+        self.write_one(offset, len, None).await
+    }
+
+    /// Vectored write of a whole [`IoRequest`] with scatter-gather
+    /// payload: `data` holds the fragments' bytes concatenated in extent
+    /// order (`data.len()` must equal [`IoRequest::total_bytes`]). Under
+    /// [`Interface::Passion`] a multi-fragment request is serviced as
+    /// list I/O (one call, one booking per I/O node); under other
+    /// interfaces it is the exact equivalent of a `write_at` fragment
+    /// loop.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != req.total_bytes()`.
+    pub async fn writev(&self, req: &IoRequest, data: &[u8]) -> Result<(), FsError> {
+        assert_eq!(
+            data.len() as u64,
+            req.total_bytes(),
+            "writev payload must match the request's total bytes"
+        );
+        self.vectored_write(req, Some(data)).await
+    }
+
+    /// Vectored synthetic write (timing only; size grows per extent).
+    pub async fn writev_discard(&self, req: &IoRequest) -> Result<(), FsError> {
+        self.vectored_write(req, None).await
+    }
+
+    async fn vectored_write(&self, req: &IoRequest, data: Option<&[u8]>) -> Result<(), FsError> {
+        let mut cursor = 0usize;
+        for &(off, len) in req.extents() {
+            let frag = data.map(|d| &d[cursor..cursor + len as usize]);
+            self.note_write(off, len, frag)?;
+            cursor += len as usize;
         }
-        self.data_op(OpKind::Write, offset, len).await;
+        if req.is_empty() {
+            return Ok(());
+        }
+        self.note_listio(req);
+        if self.is_listio(req) {
+            self.listio_op(OpKind::Write, req).await;
+        } else {
+            for &(off, len) in req.extents() {
+                self.data_op(OpKind::Write, off, len).await;
+            }
+        }
         Ok(())
     }
 
@@ -906,7 +1164,12 @@ mod tests {
         let fs2 = Rc::clone(&fs);
         let jh = sim.spawn(async move {
             let a = fs2
-                .open(0, Interface::Passion, "alpha", Some(CreateOptions::default()))
+                .open(
+                    0,
+                    Interface::Passion,
+                    "alpha",
+                    Some(CreateOptions::default()),
+                )
                 .await
                 .unwrap();
             a.write_discard_at(0, 1 << 20).await.unwrap();
@@ -914,7 +1177,10 @@ mod tests {
         });
         sim.run();
         jh.try_take().expect("completed");
-        assert_eq!(fs.file_names(), vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(
+            fs.file_names(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
         let report = fs.render_report();
         assert!(report.contains("I/O node"));
         assert!(report.contains("alpha (1048576 bytes)"));
@@ -927,10 +1193,7 @@ mod tests {
         // untouched.
         let mut sim = Sim::new();
         let trace = TraceCollector::new();
-        let m = Machine::new(
-            sim.handle(),
-            presets::paragon_small().with_io_nodes(4),
-        );
+        let m = Machine::new(sim.handle(), presets::paragon_small().with_io_nodes(4));
         let m2 = Rc::clone(&m);
         let fs = FileSystem::new(m, trace);
         let jh = sim.spawn(async move {
@@ -994,10 +1257,7 @@ mod tests {
         let run_with = |cache: CacheParams| -> (f64, iosim_trace::CacheSnapshot) {
             let mut sim = Sim::new();
             let trace = TraceCollector::new();
-            let m = Machine::new(
-                sim.handle(),
-                presets::paragon_small().with_cache(cache),
-            );
+            let m = Machine::new(sim.handle(), presets::paragon_small().with_cache(cache));
             let fs = FileSystem::new(m, trace.clone());
             let jh = sim.spawn(async move {
                 let fh = fs
@@ -1048,6 +1308,134 @@ mod tests {
         });
         sim.run();
         jh.try_take().expect("completed");
+    }
+
+    #[test]
+    fn passion_listio_beats_the_fragment_loop() {
+        // The same strided pattern: as a fragment loop each 4 KB piece
+        // pays a PASSION call and its own disk booking; as one readv the
+        // call and the per-request disk overhead are paid once per node.
+        let elapsed = |listio: bool| -> SimDuration {
+            let mut sim = Sim::new();
+            let (fs, _) = fixture(&sim);
+            let m = Rc::clone(fs.machine());
+            let jh = sim.spawn(async move {
+                let h = m.handle().clone();
+                let fh = fs
+                    .open(0, Interface::Passion, "s", Some(CreateOptions::default()))
+                    .await
+                    .unwrap();
+                fh.write_discard_at(0, 1 << 20).await.unwrap();
+                let req = IoRequest::strided(0, 4096, 16384, 32);
+                let t0 = h.now();
+                if listio {
+                    fh.readv_discard(&req).await.unwrap();
+                } else {
+                    for &(off, len) in req.extents() {
+                        fh.read_discard_at(off, len).await.unwrap();
+                    }
+                }
+                h.now() - t0
+            });
+            sim.run();
+            jh.try_take().expect("completed")
+        };
+        let frag = elapsed(false);
+        let list = elapsed(true);
+        assert!(
+            list < frag,
+            "list I/O should beat the fragment loop: {list} vs {frag}"
+        );
+    }
+
+    #[test]
+    fn unix_style_vectored_ops_degenerate_to_the_fragment_loop() {
+        // Under the UNIX-style interface readv has no list-I/O call: it
+        // must cost exactly the read_at loop and trace one op per
+        // fragment (the paper's interface contrast).
+        let run = |vectored: bool| -> (SimDuration, u64) {
+            let mut sim = Sim::new();
+            let (fs, trace) = fixture(&sim);
+            let jh = sim.spawn(async move {
+                let fh = fs
+                    .open(0, Interface::UnixStyle, "u", Some(CreateOptions::default()))
+                    .await
+                    .unwrap();
+                fh.write_discard_at(0, 1 << 20).await.unwrap();
+                let req = IoRequest::strided(0, 4096, 16384, 16);
+                if vectored {
+                    fh.readv_discard(&req).await.unwrap();
+                } else {
+                    for &(off, len) in req.extents() {
+                        fh.read_discard_at(off, len).await.unwrap();
+                    }
+                }
+            });
+            let end = sim.run();
+            jh.try_take().expect("completed");
+            (end - SimTime::ZERO, trace.count(OpKind::Read))
+        };
+        let (loop_time, loop_reads) = run(false);
+        let (vec_time, vec_reads) = run(true);
+        assert_eq!(vec_time, loop_time, "UnixStyle readv must not be faster");
+        assert_eq!(loop_reads, 16);
+        assert_eq!(vec_reads, 16);
+    }
+
+    #[test]
+    fn readv_and_writev_scatter_gather_in_extent_order() {
+        let mut sim = Sim::new();
+        let (fs, trace) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(0, Interface::Passion, "sg", Some(stored()))
+                .await
+                .unwrap();
+            // Gather-write: extents listed out of file order; the payload
+            // is consumed in extent order.
+            let req = IoRequest::from_extents(vec![(100, 4), (0, 4)]);
+            fh.writev(&req, b"AAAABBBB").await.unwrap();
+            assert_eq!(fh.size(), 104);
+            assert_eq!(fh.read_at(0, 4).await.unwrap(), b"BBBB");
+            assert_eq!(fh.read_at(100, 4).await.unwrap(), b"AAAA");
+            // Scatter-read in a different order again.
+            let back = fh
+                .readv(&IoRequest::from_extents(vec![(0, 4), (100, 4)]))
+                .await
+                .unwrap();
+            assert_eq!(back, b"BBBBAAAA");
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        // One traced Write + one vectored Read (plus the two read_at).
+        assert_eq!(trace.count(OpKind::Write), 1);
+        assert_eq!(trace.count(OpKind::Read), 3);
+    }
+
+    #[test]
+    fn listio_counters_record_request_shape() {
+        let mut sim = Sim::new();
+        let (fs, trace) = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(0, Interface::Passion, "c", Some(CreateOptions::default()))
+                .await
+                .unwrap();
+            fh.write_discard_at(0, 1 << 20).await.unwrap();
+            // Legacy calls do not count as list I/O.
+            fh.read_discard_at(0, 4096).await.unwrap();
+            // Four adjacent fragments coalesce to one extent.
+            fh.readv_discard(&IoRequest::strided(0, 4096, 4096, 4))
+                .await
+                .unwrap();
+        });
+        sim.run();
+        jh.try_take().expect("completed");
+        let s = trace.listio().snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.fragments, 4);
+        assert_eq!(s.coalesced_extents, 1);
+        assert_eq!(s.bytes, 4 * 4096);
     }
 
     #[test]

@@ -145,8 +145,22 @@ mod tests {
         // Units 0..6: node0 gets 0,2,4 (local 0..192), node1 gets 1,3,5.
         let runs = s.runs(0, 6 * 64);
         assert_eq!(runs.len(), 2);
-        assert_eq!(runs[0], Run { io_node: 0, local_offset: 0, bytes: 192 });
-        assert_eq!(runs[1], Run { io_node: 1, local_offset: 0, bytes: 192 });
+        assert_eq!(
+            runs[0],
+            Run {
+                io_node: 0,
+                local_offset: 0,
+                bytes: 192
+            }
+        );
+        assert_eq!(
+            runs[1],
+            Run {
+                io_node: 1,
+                local_offset: 0,
+                bytes: 192
+            }
+        );
     }
 
     #[test]
@@ -156,9 +170,30 @@ mod tests {
         // 50 B of unit 2 (node 2).
         let runs = s.runs(50, 200);
         assert_eq!(runs.len(), 3);
-        assert_eq!(runs[0], Run { io_node: 0, local_offset: 50, bytes: 50 });
-        assert_eq!(runs[1], Run { io_node: 1, local_offset: 0, bytes: 100 });
-        assert_eq!(runs[2], Run { io_node: 2, local_offset: 0, bytes: 50 });
+        assert_eq!(
+            runs[0],
+            Run {
+                io_node: 0,
+                local_offset: 50,
+                bytes: 50
+            }
+        );
+        assert_eq!(
+            runs[1],
+            Run {
+                io_node: 1,
+                local_offset: 0,
+                bytes: 100
+            }
+        );
+        assert_eq!(
+            runs[2],
+            Run {
+                io_node: 2,
+                local_offset: 0,
+                bytes: 50
+            }
+        );
     }
 
     #[test]

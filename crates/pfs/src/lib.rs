@@ -11,15 +11,24 @@
 //!    seek penalty when discontiguous with that node's previous access —
 //! 4. and completes when the last response returns over the mesh.
 //!
+//! Noncontiguous accesses are described by an [`IoRequest`] extent list
+//! and serviced by [`FileHandle::readv`] / [`FileHandle::writev`]: under
+//! [`Interface::Passion`] the whole list is one call — extents are
+//! coalesced and each I/O node's disk queue is booked once per request —
+//! while UNIX-style/Fortran interfaces degenerate to the per-fragment
+//! loop above, preserving the paper's interface contrast.
+//!
 //! Every operation is recorded with an [`iosim_trace::TraceCollector`],
 //! which reproduces the paper's Pablo trace tables.
 //!
 //! [`Interface`]: iosim_machine::Interface
 
 pub mod fs;
-pub mod modes;
 pub mod layout;
+pub mod modes;
+pub mod request;
 
 pub use fs::{Content, CreateOptions, FileHandle, FileSystem, FsError, STORED_FILE_CAP};
 pub use layout::{Run, Striping};
 pub use modes::{GlobalFile, GlobalState, LogCursor, LogFile, RecordFile, SyncFile};
+pub use request::IoRequest;

@@ -24,6 +24,7 @@ use iosim_simkit::sync::Event;
 use iosim_simkit::time::SimTime;
 
 use crate::fs::{FileHandle, FsError};
+use crate::request::IoRequest;
 
 /// `M_LOG`: shared-pointer atomic appends.
 ///
@@ -156,6 +157,30 @@ impl RecordFile {
     /// Read this node's `k`-th record.
     pub async fn read_record(&self, k: u64) -> Result<Vec<u8>, FsError> {
         self.fh.read_at(self.offset_of(k), self.record_size).await
+    }
+
+    /// Describe this node's records `k0 .. k0+count` as one vectored
+    /// request (the node's round-robin slots in the shared file).
+    pub fn records_request(&self, k0: u64, count: u64) -> IoRequest {
+        IoRequest::block_cyclic(self.record_size, self.slot, self.slots, k0, count)
+    }
+
+    /// Read this node's records `k0 .. k0+count` with one vectored
+    /// request; under the PASSION interface the whole batch is one list-I/O
+    /// call. Returns one byte vector per record.
+    pub async fn read_records(&self, k0: u64, count: u64) -> Result<Vec<Vec<u8>>, FsError> {
+        let flat = self.fh.readv(&self.records_request(k0, count)).await?;
+        Ok(flat
+            .chunks_exact(self.record_size as usize)
+            .map(<[u8]>::to_vec)
+            .collect())
+    }
+
+    /// Timing-only batch read of records `k0 .. k0+count`.
+    pub async fn read_records_discard(&self, k0: u64, count: u64) -> Result<(), FsError> {
+        self.fh
+            .readv_discard(&self.records_request(k0, count))
+            .await
     }
 
     /// Records written through this handle so far.
@@ -412,6 +437,41 @@ mod tests {
                 "record {j} should be {want}: {rec:?}"
             );
         }
+    }
+
+    #[test]
+    fn m_record_batch_read_matches_singles() {
+        let mut sim = Sim::new();
+        let fs = fixture(&sim);
+        let jh = sim.spawn(async move {
+            let fh = fs
+                .open(
+                    0,
+                    Interface::Passion,
+                    "batch",
+                    Some(CreateOptions {
+                        stored: true,
+                        ..Default::default()
+                    }),
+                )
+                .await
+                .unwrap();
+            let mut rf = RecordFile::new(fh, 0, 2, 64);
+            for k in 0..4u64 {
+                rf.write_record(&[k as u8; 64]).await.unwrap();
+            }
+            let batch = rf.read_records(0, 4).await.unwrap();
+            let mut singles = Vec::new();
+            for k in 0..4u64 {
+                singles.push(rf.read_record(k).await.unwrap());
+            }
+            assert_eq!(batch, singles);
+            // The request strides over the interleaved slots.
+            let req = rf.records_request(1, 2);
+            assert_eq!(req.extents(), &[(128, 64), (256, 64)]);
+        });
+        sim.run();
+        jh.try_take().expect("completed");
     }
 
     #[test]

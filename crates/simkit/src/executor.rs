@@ -126,10 +126,7 @@ impl Sim {
     }
 
     /// Spawn a root task. Equivalent to `handle().spawn(fut)`.
-    pub fn spawn<T: 'static>(
-        &self,
-        fut: impl Future<Output = T> + 'static,
-    ) -> JoinHandle<T> {
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
         self.handle.spawn(fut)
     }
 
@@ -144,18 +141,13 @@ impl Sim {
         loop {
             // Drain the ready queue to quiescence at the current instant.
             loop {
-                let tid = core
-                    .ready
-                    .lock()
-                    .expect("ready queue poisoned")
-                    .pop_front();
+                let tid = core.ready.lock().expect("ready queue poisoned").pop_front();
                 let Some(tid) = tid else { break };
                 let Some(mut fut) = core.tasks.borrow_mut().remove(&tid) else {
                     // Task finished earlier; stale wake.
                     continue;
                 };
-                core.events_processed
-                    .set(core.events_processed.get() + 1);
+                core.events_processed.set(core.events_processed.get() + 1);
                 let waker = Waker::from(Arc::new(TaskWaker {
                     id: tid,
                     ready: Arc::clone(&core.ready),
@@ -227,10 +219,7 @@ impl SimHandle {
 
     /// Spawn a task; it begins running when the executor next reaches the
     /// scheduling loop (at the current virtual instant).
-    pub fn spawn<T: 'static>(
-        &self,
-        fut: impl Future<Output = T> + 'static,
-    ) -> JoinHandle<T> {
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
         let slot: Rc<RefCell<JoinSlot<T>>> = Rc::new(RefCell::new(JoinSlot {
             value: None,
             waker: None,
@@ -433,7 +422,8 @@ mod tests {
             let log = Rc::clone(&log);
             sim.spawn(async move {
                 for _step in 0..3u64 {
-                    h.sleep(SimDuration::from_millis(10 * (id as u64 + 1))).await;
+                    h.sleep(SimDuration::from_millis(10 * (id as u64 + 1)))
+                        .await;
                     log.borrow_mut().push((id, h.now().as_nanos() / 1_000_000));
                 }
             });

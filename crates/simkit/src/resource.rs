@@ -104,10 +104,7 @@ impl Resource {
     /// waiting. Returns the `(start, end)` instants of the service.
     pub fn reserve_at(&self, arrival: SimTime, dur: SimDuration) -> (SimTime, SimTime) {
         let mut inner = self.inner.borrow_mut();
-        let Reverse(server_free) = inner
-            .free
-            .pop()
-            .expect("resource has at least one server");
+        let Reverse(server_free) = inner.free.pop().expect("resource has at least one server");
         let start = arrival.max(server_free);
         let end = start + dur;
         inner.free.push(Reverse(end));

@@ -532,8 +532,7 @@ mod tests {
                         async move {
                             let mut at = Vec::new();
                             for round in 0..3u64 {
-                                h.sleep(SimDuration::from_secs((i + 1) * (round + 1)))
-                                    .await;
+                                h.sleep(SimDuration::from_secs((i + 1) * (round + 1))).await;
                                 bar.wait().await;
                                 at.push(h.now());
                             }
@@ -587,10 +586,8 @@ mod tests {
                         async move {
                             for round in 0..2 {
                                 // Arrive out of order on purpose.
-                                h.sleep(SimDuration::from_millis(
-                                    ((2 - who) * 7 + round) as u64,
-                                ))
-                                .await;
+                                h.sleep(SimDuration::from_millis(((2 - who) * 7 + round) as u64))
+                                    .await;
                                 ts.wait_turn(who).await;
                                 log.borrow_mut().push(who);
                                 ts.advance();

@@ -17,10 +17,12 @@
 pub mod cache;
 pub mod figure;
 pub mod hist;
+pub mod listio;
 pub mod report;
 
 pub use cache::{CacheCounters, CacheSnapshot};
 pub use hist::SizeHistogram;
+pub use listio::{ListIoCounters, ListIoSnapshot};
 
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -106,6 +108,7 @@ struct CollectorInner {
 pub struct TraceCollector {
     inner: Rc<RefCell<CollectorInner>>,
     cache: cache::CacheCounters,
+    listio: listio::ListIoCounters,
 }
 
 impl TraceCollector {
@@ -188,7 +191,10 @@ impl TraceCollector {
         if times.is_empty() {
             return BalanceStats::default();
         }
-        let max = times.iter().copied().fold(SimDuration::ZERO, SimDuration::max);
+        let max = times
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
         let min = times.iter().copied().fold(max, SimDuration::min);
         let sum: u64 = times.iter().map(|d| d.as_nanos()).sum();
         let mean = SimDuration(sum / times.len() as u64);
@@ -231,10 +237,17 @@ impl TraceCollector {
         &self.cache
     }
 
+    /// List-I/O request-shape counters fed by the `iosim-pfs` vectored
+    /// service path. Shared across clones like the op aggregation.
+    pub fn listio(&self) -> &listio::ListIoCounters {
+        &self.listio
+    }
+
     /// Reset all aggregation (e.g. to exclude a warm-up phase).
     pub fn reset(&self) {
         *self.inner.borrow_mut() = CollectorInner::default();
         self.cache.reset();
+        self.listio.reset();
     }
 }
 
@@ -322,7 +335,11 @@ impl IoSummary {
                 r.count,
                 t,
                 gb(r.bytes),
-                if io_total > 0.0 { 100.0 * t / io_total } else { 0.0 },
+                if io_total > 0.0 {
+                    100.0 * t / io_total
+                } else {
+                    0.0
+                },
                 if exec > 0.0 { 100.0 * t / exec } else { 0.0 },
             );
         }
@@ -334,7 +351,11 @@ impl IoSummary {
             io_total,
             gb(total.bytes),
             100.0,
-            if exec > 0.0 { 100.0 * io_total / exec } else { 0.0 },
+            if exec > 0.0 {
+                100.0 * io_total / exec
+            } else {
+                0.0
+            },
         );
         out
     }
@@ -455,6 +476,16 @@ mod tests {
         assert_eq!(tc.cache().snapshot().misses, 1);
         tc.reset();
         assert!(tc.cache().snapshot().is_empty());
+    }
+
+    #[test]
+    fn listio_counters_ride_along_and_reset() {
+        let tc = TraceCollector::new();
+        tc.clone().listio().add_request(8, 2, 512);
+        assert_eq!(tc.listio().snapshot().requests, 1);
+        assert_eq!(tc.listio().snapshot().fragments, 8);
+        tc.reset();
+        assert!(tc.listio().snapshot().is_empty());
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl Comparison {
             what: what.into(),
             paper: paper.into(),
             measured: if holds { "observed" } else { "NOT observed" }.into(),
-            verdict: if holds { Verdict::Holds } else { Verdict::Differs },
+            verdict: if holds {
+                Verdict::Holds
+            } else {
+                Verdict::Differs
+            },
         }
     }
 }

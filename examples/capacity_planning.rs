@@ -28,7 +28,10 @@ fn main() {
     let io_nodes = [4usize, 16, 64];
 
     println!("SCF-like workload (quarter LARGE): execution time (s)\n");
-    println!("{:>8} {:>12} {:>14} {:>14}", "procs", "io_nodes", "unoptimized", "optimized");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "procs", "io_nodes", "unoptimized", "optimized"
+    );
     let mut best_software: Vec<(usize, f64, f64)> = Vec::new();
     for &p in &procs {
         for &sf in &io_nodes {

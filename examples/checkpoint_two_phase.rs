@@ -96,7 +96,9 @@ fn run(collective: bool) -> (SimDuration, Vec<u8>) {
     let out: Rc<std::cell::RefCell<Vec<u8>>> = Rc::default();
     let out2 = Rc::clone(&out);
     let res = run_ranks(
-        presets::paragon_large().with_compute_nodes(PROCS).with_io_nodes(16),
+        presets::paragon_large()
+            .with_compute_nodes(PROCS)
+            .with_io_nodes(16),
         PROCS,
         move |ctx| {
             let out = Rc::clone(&out2);

@@ -47,7 +47,10 @@ fn run_with_hot_node(speed: f64) -> f64 {
 fn main() {
     println!("8 processes scanning 32 MB files striped over 16 I/O nodes\n");
     let nominal = run_with_hot_node(1.0);
-    println!("{:>12} {:>12} {:>10} {:>16}", "node speed", "exec (s)", "slowdown", "capacity lost");
+    println!(
+        "{:>12} {:>12} {:>10} {:>16}",
+        "node speed", "exec (s)", "slowdown", "capacity lost"
+    );
     for speed in [1.0, 0.5, 0.25, 0.1] {
         let t = run_with_hot_node(speed);
         println!(

@@ -17,7 +17,10 @@ fn main() {
     // The compiler-style layout advisor (paper §4.4, reference [7]):
     // the transpose reads A down columns and writes B along rows.
     let advice = advisor::fft_transpose_advice();
-    println!("layout advisor: A -> {:?}, B -> {:?}\n", advice["A"], advice["B"]);
+    println!(
+        "layout advisor: A -> {:?}, B -> {:?}\n",
+        advice["A"], advice["B"]
+    );
 
     // (a) Functional run: 16×16 stored matrix through the unoptimized
     // pipeline; capture the result (the 2-D FFT, transposed).

@@ -10,9 +10,7 @@
 //! cargo run --release --example replay_trace
 //! ```
 
-use iosim::apps::replay::{
-    parse_trace, render_trace, replay, synthesize_strided, ReplayConfig,
-};
+use iosim::apps::replay::{parse_trace, render_trace, replay, synthesize_strided, ReplayConfig};
 use iosim::machine::presets;
 
 fn main() {
@@ -29,8 +27,8 @@ fn main() {
         path.display()
     );
 
-    let parsed = parse_trace(&std::fs::read_to_string(&path).expect("read back"))
-        .expect("parse trace");
+    let parsed =
+        parse_trace(&std::fs::read_to_string(&path).expect("read back")).expect("parse trace");
     assert_eq!(parsed, ops);
 
     let direct = replay(&parsed, &ReplayConfig::direct(presets::sp2()));
@@ -50,7 +48,5 @@ fn main() {
             direct.exec_time.as_secs_f64() / coll.exec_time.as_secs_f64()
         );
     }
-    println!(
-        "\n(the same comparison runs on real recordings via `iosim replay --trace FILE`)"
-    );
+    println!("\n(the same comparison runs on real recordings via `iosim replay --trace FILE`)");
 }

@@ -32,7 +32,9 @@ fn main() {
     let result: Rc<std::cell::RefCell<Vec<String>>> = Rc::default();
     let log = Rc::clone(&result);
     iosim::apps::common::run_ranks(
-        presets::paragon_large().with_compute_nodes(PROCS).with_io_nodes(16),
+        presets::paragon_large()
+            .with_compute_nodes(PROCS)
+            .with_io_nodes(16),
         PROCS,
         move |ctx| {
             let log = Rc::clone(&log);

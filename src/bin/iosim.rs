@@ -12,8 +12,8 @@
 
 use std::collections::HashMap;
 
-use iosim::apps::{ast, btio, fft, scf11, scf30};
 use iosim::apps::RunResult;
+use iosim::apps::{ast, btio, fft, scf11, scf30};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -89,7 +89,9 @@ fn run_scf11(o: &Opts) -> RunResult {
         "original" | "fortran" => scf11::Scf11Version::Original,
         "passion" => scf11::Scf11Version::Passion,
         "prefetch" => scf11::Scf11Version::PassionPrefetch,
-        other => die(&format!("unknown version '{other}' (original|passion|prefetch)")),
+        other => die(&format!(
+            "unknown version '{other}' (original|passion|prefetch)"
+        )),
     };
     let cfg = scf11::Scf11Config {
         procs: o.get("procs", 4),
@@ -100,7 +102,12 @@ fn run_scf11(o: &Opts) -> RunResult {
         cache_mb: o.get("cache", 0),
         ..scf11::Scf11Config::new(input, version)
     };
-    eprintln!("SCF 1.1 {} {:?} tuple {}", input.name(), version, cfg.tuple());
+    eprintln!(
+        "SCF 1.1 {} {:?} tuple {}",
+        input.name(),
+        version,
+        cfg.tuple()
+    );
     let r = scf11::run(&cfg);
     eprintln!("foreground I/O time: {}", r.fg_io_time);
     r.run
@@ -129,11 +136,7 @@ fn run_scf30(o: &Opts) -> RunResult {
 }
 
 fn run_fft(o: &Opts) -> RunResult {
-    let mut cfg = fft::FftConfig::new(
-        o.get("n", 1024),
-        o.get("procs", 4),
-        o.flag("optimized"),
-    );
+    let mut cfg = fft::FftConfig::new(o.get("n", 1024), o.get("procs", 4), o.flag("optimized"));
     cfg.io_nodes = o.get("io-nodes", 2);
     cfg.mem_per_proc = o.get("mem-mb", 16u64) << 20;
     cfg.cache_mb = o.get("cache", 0);
@@ -198,8 +201,7 @@ fn run_replay(o: &Opts) -> RunResult {
     if path.is_empty() {
         die("replay needs --trace FILE");
     }
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let ops = replay::parse_trace(&text).unwrap_or_else(|e| die(&e.to_string()));
     let machine = match o.str_or("machine", "sp2") {
         "sp2" => iosim::machine::presets::sp2(),
@@ -229,14 +231,29 @@ fn run_replay(o: &Opts) -> RunResult {
 
 fn print_result(r: &RunResult) {
     println!("execution time : {}", r.exec_time);
-    println!("I/O time (wall): {}  ({:.1}% of exec)", r.io_time, 100.0 * r.io_fraction());
-    println!("I/O volume     : {:.2} MB over {} operations", r.io_bytes as f64 / 1e6, r.io_ops);
+    println!(
+        "I/O time (wall): {}  ({:.1}% of exec)",
+        r.io_time,
+        100.0 * r.io_fraction()
+    );
+    println!(
+        "I/O volume     : {:.2} MB over {} operations",
+        r.io_bytes as f64 / 1e6,
+        r.io_ops
+    );
     println!("I/O bandwidth  : {:.2} MB/s", r.bandwidth_mb_s());
     if !r.cache.is_empty() {
         println!("{}", r.cache.render_line());
     }
+    if !r.listio.is_empty() {
+        println!("{}", r.listio.render_line());
+    }
     println!();
-    println!("{}", r.summary.render("I/O trace (cumulative across ranks)", r.cum_exec_time()));
+    println!(
+        "{}",
+        r.summary
+            .render("I/O trace (cumulative across ranks)", r.cum_exec_time())
+    );
 }
 
 fn usage() {

@@ -46,12 +46,12 @@ pub use iosim_trace as trace;
 pub mod prelude {
     pub use iosim_apps::common::{run_ranks, AppCtx, RunResult};
     pub use iosim_core::{
-        read_collective, write_collective, FileLayout, OocArray, PackedWriter, Piece,
-        Prefetcher, SemiDirect, Span,
+        read_collective, write_collective, FileLayout, OocArray, PackedWriter, Piece, Prefetcher,
+        SemiDirect, Span,
     };
     pub use iosim_machine::{presets, Interface, Machine, MachineConfig};
     pub use iosim_msg::{Comm, MatchSrc, Payload, World};
-    pub use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError};
+    pub use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError, IoRequest};
     pub use iosim_simkit::prelude::*;
     pub use iosim_trace::{OpKind, TraceCollector};
 }

@@ -83,6 +83,9 @@ fn cache_preserves_stored_bytes() {
     let (plain, b_plain) = fft::run_capture(&stored_cfg(0));
     let (cached, b_cached) = fft::run_capture(&stored_cfg(4));
     assert!(plain.cache.is_empty());
-    assert!(cached.cache.hits + cached.cache.misses > 0, "cache saw traffic");
+    assert!(
+        cached.cache.hits + cached.cache.misses > 0,
+        "cache saw traffic"
+    );
     assert_eq!(b_plain, b_cached, "cache must not change file contents");
 }

@@ -16,54 +16,49 @@ fn collective_write_equals_direct_write_for_irregular_pattern() {
     let build = |collective: bool| -> Vec<u8> {
         let out: Rc<std::cell::RefCell<Vec<u8>>> = Rc::default();
         let out2 = Rc::clone(&out);
-        run_ranks(
-            presets::sp2().with_compute_nodes(4),
-            4,
-            move |ctx| {
-                let out = Rc::clone(&out2);
-                Box::pin(async move {
-                    let fh = ctx
-                        .fs
-                        .open(
-                            ctx.rank,
-                            Interface::UnixStyle,
-                            "shared",
-                            Some(CreateOptions {
-                                stored: true,
-                                ..Default::default()
-                            }),
-                        )
-                        .await
-                        .expect("open");
-                    let mine: Vec<(u64, Vec<u8>)> = (0..RECORDS)
-                        .filter(|k| k % 4 == ctx.rank as u64)
-                        .map(|k| {
-                            let data: Vec<u8> =
-                                (0..100u64).map(|i| ((k * 7 + i) % 251) as u8).collect();
-                            (k * 100, data)
-                        })
+        run_ranks(presets::sp2().with_compute_nodes(4), 4, move |ctx| {
+            let out = Rc::clone(&out2);
+            Box::pin(async move {
+                let fh = ctx
+                    .fs
+                    .open(
+                        ctx.rank,
+                        Interface::UnixStyle,
+                        "shared",
+                        Some(CreateOptions {
+                            stored: true,
+                            ..Default::default()
+                        }),
+                    )
+                    .await
+                    .expect("open");
+                let mine: Vec<(u64, Vec<u8>)> = (0..RECORDS)
+                    .filter(|k| k % 4 == ctx.rank as u64)
+                    .map(|k| {
+                        let data: Vec<u8> =
+                            (0..100u64).map(|i| ((k * 7 + i) % 251) as u8).collect();
+                        (k * 100, data)
+                    })
+                    .collect();
+                if collective {
+                    let pieces: Vec<Piece> = mine
+                        .into_iter()
+                        .map(|(off, d)| Piece::bytes(off, d))
                         .collect();
-                    if collective {
-                        let pieces: Vec<Piece> = mine
-                            .into_iter()
-                            .map(|(off, d)| Piece::bytes(off, d))
-                            .collect();
-                        write_collective(&ctx.comm, &fh, pieces)
-                            .await
-                            .expect("collective");
-                    } else {
-                        for (off, d) in mine {
-                            fh.write_at(off, &d).await.expect("direct write");
-                        }
+                    write_collective(&ctx.comm, &fh, pieces)
+                        .await
+                        .expect("collective");
+                } else {
+                    for (off, d) in mine {
+                        fh.write_at(off, &d).await.expect("direct write");
                     }
-                    ctx.comm.barrier().await;
-                    if ctx.rank == 0 {
-                        *out.borrow_mut() =
-                            fh.read_at(0, RECORDS * 100).await.expect("read back");
-                    }
-                })
-            },
-        );
+                }
+                ctx.comm.barrier().await;
+                if ctx.rank == 0 {
+                    *out.borrow_mut() = fh.read_at(0, RECORDS * 100).await.expect("read back");
+                }
+            })
+        });
         let data = out.borrow().clone();
         data
     };
@@ -101,8 +96,7 @@ fn buffered_collective_write_matches_direct() {
                 let mine: Vec<Piece> = (0..RECORDS)
                     .filter(|k| k % 4 == ctx.rank as u64)
                     .map(|k| {
-                        let data: Vec<u8> =
-                            (0..64u64).map(|i| ((k * 3 + i) % 251) as u8).collect();
+                        let data: Vec<u8> = (0..64u64).map(|i| ((k * 3 + i) % 251) as u8).collect();
                         Piece::bytes(k * 64, data)
                     })
                     .collect();
@@ -124,8 +118,7 @@ fn buffered_collective_write_matches_direct() {
                 }
                 ctx.comm.barrier().await;
                 if ctx.rank == 0 {
-                    *out.borrow_mut() =
-                        fh.read_at(0, RECORDS * 64).await.expect("read back");
+                    *out.borrow_mut() = fh.read_at(0, RECORDS * 64).await.expect("read back");
                 }
             })
         });
@@ -181,45 +174,41 @@ fn empty_ranks_do_not_skew_the_collective_domain() {
 /// Collective reads return exactly the bytes written.
 #[test]
 fn collective_read_returns_written_bytes() {
-    run_ranks(
-        presets::sp2().with_compute_nodes(3),
-        3,
-        |ctx| {
-            Box::pin(async move {
-                let fh = ctx
-                    .fs
-                    .open(
-                        ctx.rank,
-                        Interface::Passion,
-                        "rc",
-                        Some(CreateOptions {
-                            stored: true,
-                            ..Default::default()
-                        }),
-                    )
-                    .await
-                    .expect("open");
-                if ctx.rank == 0 {
-                    let data: Vec<u8> = (0..3000u64).map(|i| (i % 251) as u8).collect();
-                    fh.write_at(0, &data).await.expect("seed file");
+    run_ranks(presets::sp2().with_compute_nodes(3), 3, |ctx| {
+        Box::pin(async move {
+            let fh = ctx
+                .fs
+                .open(
+                    ctx.rank,
+                    Interface::Passion,
+                    "rc",
+                    Some(CreateOptions {
+                        stored: true,
+                        ..Default::default()
+                    }),
+                )
+                .await
+                .expect("open");
+            if ctx.rank == 0 {
+                let data: Vec<u8> = (0..3000u64).map(|i| (i % 251) as u8).collect();
+                fh.write_at(0, &data).await.expect("seed file");
+            }
+            ctx.comm.barrier().await;
+            // Every rank asks for its own interleaved spans.
+            let wants: Vec<Span> = (0..5u64)
+                .map(|k| Span::new((k * 3 + ctx.rank as u64) * 200, 200))
+                .collect();
+            let (got, _) = read_collective(&ctx.comm, &fh, wants.clone())
+                .await
+                .expect("collective read");
+            for (w, p) in wants.iter().zip(&got) {
+                let bytes = p.data.as_ref().expect("stored read");
+                for (i, b) in bytes.iter().enumerate() {
+                    assert_eq!(*b, ((w.offset + i as u64) % 251) as u8);
                 }
-                ctx.comm.barrier().await;
-                // Every rank asks for its own interleaved spans.
-                let wants: Vec<Span> = (0..5u64)
-                    .map(|k| Span::new((k * 3 + ctx.rank as u64) * 200, 200))
-                    .collect();
-                let (got, _) = read_collective(&ctx.comm, &fh, wants.clone())
-                    .await
-                    .expect("collective read");
-                for (w, p) in wants.iter().zip(&got) {
-                    let bytes = p.data.as_ref().expect("stored read");
-                    for (i, b) in bytes.iter().enumerate() {
-                        assert_eq!(*b, ((w.offset + i as u64) % 251) as u8);
-                    }
-                }
-            })
-        },
-    );
+            }
+        })
+    });
 }
 
 /// The BTIO application writes the same solution file with either path,
@@ -285,7 +274,9 @@ fn ooc_array_tiling_is_shape_independent() {
                         ((r0 + i) * 100 + (c0 + j)) as f64
                     })
                     .collect();
-                a.write_block(r0, c0, 3, 4, &tile).await.expect("write tile");
+                a.write_block(r0, c0, 3, 4, &tile)
+                    .await
+                    .expect("write tile");
             }
         }
         // Read in 6x2 tiles and verify.

@@ -10,6 +10,9 @@ cargo build --release --offline
 echo "== tier-1: tests (root package) =="
 cargo test -q --offline
 
+echo "== rustfmt (check only) =="
+cargo fmt --all -- --check
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
