@@ -57,6 +57,8 @@ pub struct AstConfig {
     pub stored: bool,
     /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
     pub cache_mb: u64,
+    /// I/O-node command-queue depth (1 = the paper's FIFO disk queue).
+    pub queue_depth: usize,
 }
 
 impl AstConfig {
@@ -74,6 +76,7 @@ impl AstConfig {
             restart: false,
             stored: false,
             cache_mb: 0,
+            queue_depth: 1,
         }
     }
 
@@ -88,11 +91,14 @@ impl AstConfig {
     }
 
     fn machine(&self) -> MachineConfig {
-        crate::common::with_cache_mb(
-            presets::paragon_large()
-                .with_compute_nodes(self.procs.max(1))
-                .with_io_nodes(self.io_nodes),
-            self.cache_mb,
+        crate::common::with_queue_depth(
+            crate::common::with_cache_mb(
+                presets::paragon_large()
+                    .with_compute_nodes(self.procs.max(1))
+                    .with_io_nodes(self.io_nodes),
+                self.cache_mb,
+            ),
+            self.queue_depth,
         )
     }
 }

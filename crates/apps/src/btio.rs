@@ -86,6 +86,8 @@ pub struct BtioConfig {
     pub stored: bool,
     /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
     pub cache_mb: u64,
+    /// I/O-node command-queue depth (1 = the paper's FIFO disk queue).
+    pub queue_depth: usize,
 }
 
 impl BtioConfig {
@@ -102,6 +104,7 @@ impl BtioConfig {
             verify: false,
             stored: false,
             cache_mb: 0,
+            queue_depth: 1,
         }
     }
 
@@ -117,9 +120,12 @@ impl BtioConfig {
     }
 
     fn machine(&self) -> MachineConfig {
-        crate::common::with_cache_mb(
-            presets::sp2().with_compute_nodes(self.procs.max(1)),
-            self.cache_mb,
+        crate::common::with_queue_depth(
+            crate::common::with_cache_mb(
+                presets::sp2().with_compute_nodes(self.procs.max(1)),
+                self.cache_mb,
+            ),
+            self.queue_depth,
         )
     }
 }

@@ -10,7 +10,7 @@ use iosim_msg::{Comm, World};
 use iosim_pfs::FileSystem;
 use iosim_simkit::executor::{join_all, Sim};
 use iosim_simkit::time::SimDuration;
-use iosim_trace::{CacheSnapshot, IoSummary, ListIoSnapshot, TraceCollector};
+use iosim_trace::{CacheSnapshot, IoSummary, ListIoSnapshot, QueueSnapshot, TraceCollector};
 
 /// Everything one simulated process needs.
 pub struct AppCtx {
@@ -57,6 +57,9 @@ pub struct RunResult {
     /// Vectored list-I/O request shapes (all zero when no caller used
     /// the `readv`/`writev` path).
     pub listio: ListIoSnapshot,
+    /// I/O-node command-queue behaviour (all zero when the machine runs
+    /// with the default queue depth of 1, i.e. the legacy FIFO path).
+    pub queue: QueueSnapshot,
 }
 
 impl RunResult {
@@ -96,6 +99,17 @@ pub fn with_cache_mb(cfg: MachineConfig, cache_mb: u64) -> MachineConfig {
         cfg
     } else {
         cfg.with_lru_cache(cache_mb << 20)
+    }
+}
+
+/// Apply an application-level queue-depth knob to a machine config:
+/// NCQ-style command queuing with `depth` outstanding commands per I/O
+/// node. `0` and `1` both keep the presets' depth-1 legacy FIFO path.
+pub fn with_queue_depth(cfg: MachineConfig, depth: usize) -> MachineConfig {
+    if depth <= 1 {
+        cfg
+    } else {
+        cfg.with_io_queue_depth(depth)
     }
 }
 
@@ -155,6 +169,7 @@ pub fn run_ranks(
         balance: trace.balance(),
         cache: trace.cache().snapshot(),
         listio: trace.listio().snapshot(),
+        queue: trace.queue().snapshot(),
     }
 }
 

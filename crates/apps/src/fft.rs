@@ -55,6 +55,8 @@ pub struct FftConfig {
     /// Per-I/O-node LRU buffer cache in MB (0 = uncached, the paper's
     /// baseline machine).
     pub cache_mb: u64,
+    /// I/O-node command-queue depth (1 = the paper's FIFO disk queue).
+    pub queue_depth: usize,
 }
 
 impl FftConfig {
@@ -70,6 +72,7 @@ impl FftConfig {
             mem_per_proc: 16 << 20,
             transpose_only: false,
             cache_mb: 0,
+            queue_depth: 1,
         }
     }
 
@@ -81,11 +84,14 @@ impl FftConfig {
     }
 
     fn machine(&self) -> MachineConfig {
-        crate::common::with_cache_mb(
-            presets::paragon_small()
-                .with_compute_nodes(self.procs)
-                .with_io_nodes(self.io_nodes),
-            self.cache_mb,
+        crate::common::with_queue_depth(
+            crate::common::with_cache_mb(
+                presets::paragon_small()
+                    .with_compute_nodes(self.procs)
+                    .with_io_nodes(self.io_nodes),
+                self.cache_mb,
+            ),
+            self.queue_depth,
         )
     }
 

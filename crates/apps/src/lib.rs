@@ -13,4 +13,4 @@ pub mod replay;
 pub mod scf11;
 pub mod scf30;
 
-pub use common::{run_ranks, with_cache_mb, AppCtx, RunResult};
+pub use common::{run_ranks, with_cache_mb, with_queue_depth, AppCtx, RunResult};

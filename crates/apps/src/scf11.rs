@@ -124,6 +124,8 @@ pub struct Scf11Config {
     pub scale: f64,
     /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
     pub cache_mb: u64,
+    /// I/O-node command-queue depth (1 = the paper's FIFO disk queue).
+    pub queue_depth: usize,
 }
 
 impl Scf11Config {
@@ -139,6 +141,7 @@ impl Scf11Config {
             read_iterations: 15,
             scale: 1.0,
             cache_mb: 0,
+            queue_depth: 1,
         }
     }
 
@@ -188,12 +191,15 @@ const FLUSH_EVERY: u64 = 1000;
 
 /// Run SCF 1.1 under `cfg` and return the measurements.
 pub fn run(cfg: &Scf11Config) -> Scf11Result {
-    let mcfg = crate::common::with_cache_mb(
-        presets::paragon_large()
-            .with_compute_nodes(cfg.procs.max(1))
-            .with_io_nodes(cfg.io_nodes)
-            .with_stripe_unit(cfg.stripe_unit_kb << 10),
-        cfg.cache_mb,
+    let mcfg = crate::common::with_queue_depth(
+        crate::common::with_cache_mb(
+            presets::paragon_large()
+                .with_compute_nodes(cfg.procs.max(1))
+                .with_io_nodes(cfg.io_nodes)
+                .with_stripe_unit(cfg.stripe_unit_kb << 10),
+            cfg.cache_mb,
+        ),
+        cfg.queue_depth,
     );
     let fg_io: Rc<RefCell<Vec<SimDuration>>> = Rc::new(RefCell::new(Vec::new()));
     let fg_io2 = Rc::clone(&fg_io);

@@ -49,6 +49,8 @@ pub struct Scf30Config {
     pub scale: f64,
     /// Per-I/O-node LRU buffer cache in MB (0 = uncached).
     pub cache_mb: u64,
+    /// I/O-node command-queue depth (1 = the paper's FIFO disk queue).
+    pub queue_depth: usize,
 }
 
 impl Scf30Config {
@@ -65,6 +67,7 @@ impl Scf30Config {
             read_iterations: 15,
             scale: 1.0,
             cache_mb: 0,
+            queue_depth: 1,
         }
     }
 }
@@ -95,11 +98,14 @@ pub struct Scf30Result {
 
 /// Run SCF 3.0 under `cfg`.
 pub fn run(cfg: &Scf30Config) -> Scf30Result {
-    let mcfg = crate::common::with_cache_mb(
-        presets::paragon_large()
-            .with_compute_nodes(cfg.procs.max(1))
-            .with_io_nodes(cfg.io_nodes),
-        cfg.cache_mb,
+    let mcfg = crate::common::with_queue_depth(
+        crate::common::with_cache_mb(
+            presets::paragon_large()
+                .with_compute_nodes(cfg.procs.max(1))
+                .with_io_nodes(cfg.io_nodes),
+            cfg.cache_mb,
+        ),
+        cfg.queue_depth,
     );
     let moved: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
     let moved2 = Rc::clone(&moved);

@@ -318,7 +318,7 @@ pub fn ext_link_contention(scale: f64) -> ExperimentReport {
 }
 
 /// Extension 5: the paper's concluding SCF anecdote, quantified — "for
-/// small numbers of compute nodes [users] use the version which makes
+/// small numbers of compute nodes \[users\] use the version which makes
 /// I/O; for large numbers they tend to use the re-compute version, as the
 /// I/O version performs very poorly". Sweep processors for the disk-based
 /// (100% cached) and direct (0% cached) variants and locate the
@@ -712,6 +712,180 @@ pub fn ext_listio_ablation(scale: f64) -> ExperimentReport {
     report
 }
 
+/// Extension 9: NCQ-style command-queue depth ablation. The FFT
+/// column-read and BTIO dump patterns of `ext8`, but with each rank's
+/// column block assigned in **reverse** rank order — so the legacy FIFO
+/// disk queue services the concurrent ranks' commands in exactly the
+/// wrong order (every dispatch seeks backward through the file), the
+/// arrival pattern command queuing exists for. Three service styles —
+/// per-fragment loop, vectored list I/O, and the batched two-phase
+/// collective — are swept over queue depth 1, 2, 4, 8, 16. Depth 1 is
+/// bit-identical to the legacy FIFO path; deeper queues let the
+/// bounded-window elevator turn backward seeks into sequential head
+/// continuations. The batched collective additionally books each I/O
+/// node's queue exactly once per round, which the run's
+/// [`iosim_trace::QueueSnapshot`] counters assert.
+pub fn ext_queue_ablation(scale: f64) -> ExperimentReport {
+    use iosim_apps::common::{with_queue_depth, RunResult};
+    use iosim_pfs::IoRequest;
+    let _ = scale;
+    let procs = 4usize;
+    let io_nodes = 8usize;
+    let depths = [1usize, 2, 4, 8, 16];
+    let styles = ["fragment", "list", "collective"];
+    let workloads = ["FFT column read", "BTIO dump write"];
+
+    // Reverse slot permutation: rank r takes column block procs-1-r, so
+    // the booking order (rank order) descends through the file.
+    let build = |wi: usize, rank: usize| -> IoRequest {
+        let slot = (procs - 1 - rank) as u64;
+        if wi == 0 {
+            let n = 512u64;
+            let cols = n / procs as u64;
+            IoRequest::strided(slot * cols * 16, cols * 16, n * 16, n)
+        } else {
+            IoRequest::strided(slot * 512, 512, 2048, 200)
+        }
+    };
+
+    let mut grid: Vec<(usize, usize, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
+        for si in 0..styles.len() {
+            for &d in &depths {
+                grid.push((wi, si, d));
+            }
+        }
+    }
+    let results: Vec<RunResult> = map_parallel(grid, default_threads(), |&(wi, si, depth)| {
+        // FFT is a read workload except in the collective arm (the
+        // collective is the dump direction on both workloads).
+        let is_write = wi == 1 || si == 2;
+        let reqs: Vec<IoRequest> = (0..procs).map(|r| build(wi, r)).collect();
+        let mcfg = with_queue_depth(
+            presets::paragon_large()
+                .with_compute_nodes(procs)
+                .with_io_nodes(io_nodes),
+            depth,
+        );
+        run_ranks(mcfg, procs, move |ctx| {
+            let req = reqs[ctx.rank].clone();
+            Box::pin(async move {
+                let fh = ctx
+                    .fs
+                    .open(
+                        ctx.rank,
+                        Interface::Passion,
+                        "queue",
+                        Some(CreateOptions::default()),
+                    )
+                    .await
+                    .expect("open");
+                fh.preallocate(req.end());
+                match si {
+                    0 => {
+                        for &(off, len) in req.extents() {
+                            if is_write {
+                                fh.write_discard_at(off, len).await.expect("write");
+                            } else {
+                                fh.read_discard_at(off, len).await.expect("read");
+                            }
+                        }
+                    }
+                    1 => {
+                        if is_write {
+                            fh.writev_discard(&req).await.expect("writev");
+                        } else {
+                            fh.readv_discard(&req).await.expect("readv");
+                        }
+                    }
+                    _ => {
+                        let pieces: Vec<Piece> = req
+                            .extents()
+                            .iter()
+                            .map(|&(off, len)| Piece::synthetic(off, len))
+                            .collect();
+                        write_collective(&ctx.comm, &fh, pieces)
+                            .await
+                            .expect("collective");
+                    }
+                }
+                ctx.comm.barrier().await;
+            })
+        })
+    });
+    let cell = |wi: usize, si: usize, di: usize| -> &RunResult { &results[(wi * 3 + si) * 5 + di] };
+    let io = |wi: usize, si: usize, di: usize| -> f64 { cell(wi, si, di).io_time.as_secs_f64() };
+
+    let mut body = format!("{:<18} {:<12}", "workload", "style");
+    for d in depths {
+        body.push_str(&format!(" {:>9}", format!("d={d}")));
+    }
+    body.push('\n');
+    let mut fig = TextFigure::new(
+        "wall-clock I/O time vs command-queue depth",
+        "queue depth",
+        "I/O time (s)",
+    );
+    for (wi, wname) in workloads.iter().enumerate() {
+        for (si, sname) in styles.iter().enumerate() {
+            body.push_str(&format!("{wname:<18} {sname:<12}"));
+            for di in 0..depths.len() {
+                body.push_str(&format!(" {:>8.3}s", io(wi, si, di)));
+            }
+            body.push('\n');
+            fig.push(Series::new(
+                format!("{wname} / {sname}"),
+                depths
+                    .iter()
+                    .enumerate()
+                    .map(|(di, &d)| (d as f64, io(wi, si, di)))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+    }
+
+    let mut report = ExperimentReport::new(
+        "Extension 9: I/O-node command-queue depth ablation (reverse-interleaved FFT read, BTIO dump)",
+    );
+    report.push_body(&body);
+    report.push_figure(fig);
+    report.push(Comparison::claim(
+        "depth > 1 strictly reduces the FFT column-read fragment-loop I/O time",
+        "the elevator re-sorts the ranks' backward-interleaved reads into sequential sweeps (extension)",
+        (1..depths.len()).all(|di| io(0, 0, di) < io(0, 0, 0)),
+    ));
+    report.push(Comparison::claim(
+        "depth > 1 strictly reduces the BTIO dump fragment-loop I/O time",
+        "same mechanism on the interleaved 512-byte cell writes (extension)",
+        (1..depths.len()).all(|di| io(1, 0, di) < io(1, 0, 0)),
+    ));
+    report.push(Comparison::claim(
+        "deeper queues never increase simulated I/O time on these workloads",
+        "reordering is only applied when it does not lose the head position (extension)",
+        (0..workloads.len()).all(|wi| {
+            (0..styles.len())
+                .all(|si| (1..depths.len()).all(|di| io(wi, si, di) <= io(wi, si, di - 1) * 1.001))
+        }),
+    ));
+    // The once-per-round invariant: with queue depth > 1 the batched
+    // collective books each touched I/O node exactly once per round.
+    let unit = presets::paragon_large().default_stripe_unit;
+    let once_per_round = (0..workloads.len()).all(|wi| {
+        let end = (0..procs).map(|r| build(wi, r).end()).max().expect("ranks");
+        let touched = (end.div_ceil(unit) as usize).min(io_nodes) as u64;
+        (1..depths.len()).all(|di| {
+            let q = &cell(wi, 2, di).queue;
+            q.collective_rounds > 0 && q.bookings == q.collective_rounds * touched
+        })
+    });
+    report.push(Comparison::claim(
+        "a batched collective books each I/O node exactly once per round",
+        "aggregators own whole I/O nodes, so bookings = rounds x touched nodes (extension)",
+        once_per_round,
+    ));
+    report
+}
+
 /// The data-sieving read-modify-write pattern of `ext2`, on a machine
 /// with `cache_mb` megabytes of per-I/O-node buffer cache. Returns
 /// (I/O time in seconds, cache hit rate).
@@ -752,6 +926,12 @@ mod tests {
     #[test]
     fn listio_ablation_extension_holds() {
         let r = ext_listio_ablation(1.0);
+        assert_shape(&r);
+    }
+
+    #[test]
+    fn queue_ablation_extension_holds() {
+        let r = ext_queue_ablation(1.0);
         assert_shape(&r);
     }
 

@@ -340,14 +340,20 @@ pub fn fig3(scale: f64) -> ExperimentReport {
 /// vs PASSION-prefetch — the paper counts wait + copy as the prefetch
 /// version's I/O time, and the tick is about I/O effectiveness).
 pub fn optimization_gains(scale: f64) -> (f64, f64) {
-    let o = run(&cfg(ScfInput::Small, Scf11Version::Original, scale));
-    let p = run(&cfg(ScfInput::Small, Scf11Version::Passion, scale));
     let mut fcfg = cfg(ScfInput::Small, Scf11Version::PassionPrefetch, scale);
     fcfg.mem_kb = 256;
     let mut pcfg = cfg(ScfInput::Small, Scf11Version::Passion, scale);
     pcfg.mem_kb = 256;
-    let p256 = run(&pcfg);
-    let f = run(&fcfg);
+    let configs = vec![
+        cfg(ScfInput::Small, Scf11Version::Original, scale),
+        cfg(ScfInput::Small, Scf11Version::Passion, scale),
+        pcfg,
+        fcfg,
+    ];
+    let runs = map_parallel(configs, default_threads(), run);
+    let [o, p, p256, f] = &runs[..] else {
+        unreachable!("map_parallel preserves arity")
+    };
     (
         o.run.exec_time.as_secs_f64() / p.run.exec_time.as_secs_f64(),
         p256.fg_io_time.as_secs_f64() / f.fg_io_time.as_secs_f64().max(1e-9),

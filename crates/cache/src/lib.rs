@@ -31,13 +31,13 @@
 //! Every decision is deterministic: LRU order is kept in a
 //! [`BTreeMap`] over a monotonic access tick (never iterate the block
 //! [`HashMap`] — its order is not deterministic), disk bookings use the
-//! shared per-node FIFO [`Resource`] queues, and the flush daemon is a
+//! shared per-node FIFO [`Resource`](iosim_simkit::resource::Resource) queues, and the flush daemon is a
 //! short-lived simulation task that always terminates (so the executor
 //! never leaks it).
 //!
 //! Policy and sizing come from [`iosim_machine::CacheParams`] on the
 //! machine config; [`BufferCache::new`] returns `None` under
-//! [`CachePolicy::None`], which lets the PFS keep its original
+//! [`CachePolicy::None`](iosim_machine::CachePolicy::None), which lets the PFS keep its original
 //! uncached path byte-for-byte.
 
 use std::cell::RefCell;
@@ -112,7 +112,7 @@ struct Extent {
 }
 
 /// The buffer-cache model shared by all files on a machine. One
-/// [`NodeCache`] per I/O node; timing flows through the machine's disk
+/// `NodeCache` per I/O node; timing flows through the machine's disk
 /// queues, counters through the shared [`CacheCounters`].
 pub struct BufferCache {
     machine: Rc<Machine>,
@@ -137,7 +137,7 @@ const FLUSH_BATCH_BLOCKS: usize = 64;
 
 impl BufferCache {
     /// Build the cache for `machine` according to its configured
-    /// [`CacheParams`]. Returns `None` under [`CachePolicy::None`] so
+    /// [`CacheParams`]. Returns `None` under [`CachePolicy::None`](iosim_machine::CachePolicy::None) so
     /// callers keep the uncached code path untouched.
     pub fn new(machine: &Rc<Machine>, counters: CacheCounters) -> Option<Rc<BufferCache>> {
         let params = machine.cfg().cache;

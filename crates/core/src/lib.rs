@@ -37,5 +37,6 @@ pub use packed::{ChunkReader, PackedStats, PackedWriter};
 pub use prefetch::{PrefetchStats, Prefetcher};
 pub use sieve::{read_sieved, write_sieved, SieveStats};
 pub use two_phase::{
-    read_collective, write_collective, write_collective_buffered, Piece, Span, TwoPhaseStats,
+    read_collective, write_collective, write_collective_batched, write_collective_buffered, Piece,
+    Span, TwoPhaseStats,
 };

@@ -261,6 +261,12 @@ pub struct MachineConfig {
     pub io_nodes: usize,
     /// Disks attached to each I/O node (parallel servers per node).
     pub disks_per_io_node: usize,
+    /// Outstanding disk commands each I/O node may hold (NCQ-style
+    /// command queuing). Depth 1 — every preset's default — reproduces
+    /// the legacy strictly-FIFO reservation path bit-for-bit; depth > 1
+    /// services queued commands with a bounded-window elevator policy
+    /// (see `iosim_pfs`'s command-queue service path).
+    pub io_queue_depth: usize,
     /// Disk/service parameters.
     pub disk: DiskParams,
     /// Network parameters.
@@ -359,6 +365,15 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style: set the per-I/O-node command-queue depth. Depth 1
+    /// keeps the legacy FIFO path; deeper queues enable bounded-window
+    /// elevator scheduling of outstanding commands.
+    pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "io_queue_depth must be at least 1");
+        self.io_queue_depth = depth;
+        self
+    }
+
     /// Aggregate disk bandwidth of the whole I/O subsystem, bytes/second.
     pub fn aggregate_disk_bandwidth(&self) -> f64 {
         self.disk.bandwidth_bps * (self.io_nodes * self.disks_per_io_node) as f64
@@ -380,6 +395,9 @@ impl MachineConfig {
         }
         if self.disks_per_io_node == 0 {
             return Err("disks_per_io_node must be positive".into());
+        }
+        if self.io_queue_depth == 0 {
+            return Err("io_queue_depth must be at least 1".into());
         }
         if self.disk.bandwidth_bps <= 0.0 || self.disk.bandwidth_bps.is_nan() {
             return Err("disk bandwidth must be positive".into());
@@ -445,6 +463,29 @@ mod tests {
         assert_eq!(m.default_stripe_unit, 128 << 10);
         assert_eq!(m.mem_per_node, 256 << 20);
         assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn queue_depth_builder_and_validation() {
+        for cfg in [
+            presets::paragon_large(),
+            presets::paragon_small(),
+            presets::sp2(),
+        ] {
+            assert_eq!(cfg.io_queue_depth, 1, "{}", cfg.name);
+        }
+        let m = presets::paragon_small().with_io_queue_depth(8);
+        assert_eq!(m.io_queue_depth, 8);
+        assert!(m.validate().is_ok());
+        let mut bad = m;
+        bad.io_queue_depth = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_queue_depth_builder_panics() {
+        let _ = presets::paragon_small().with_io_queue_depth(0);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub use config::{
     CacheParams, CachePolicy, CpuParams, DiskParams, Interface, InterfaceCosts, MachineConfig,
     MeshDims, NetParams,
 };
-pub use disk::DiskGeometry;
+pub use disk::{pick_command, CommandView, DiskGeometry, SchedDecision, STARVATION_BOUND};
 pub use machine::Machine;
 pub use topology::{Coord, Topology};

@@ -169,6 +169,40 @@ impl Machine {
         self.apply_speed(io, t)
     }
 
+    /// Disk service time for one multi-run command at I/O node `io`:
+    /// the first run pays the full positioned cost from `prev_end`, each
+    /// later run adds its positioned cost minus the per-request overhead
+    /// (a queued command issues once and walks its runs). `runs` are
+    /// `(local_offset, bytes)` pairs serviced in order. This is exactly
+    /// the incremental arithmetic of the vectored list-I/O path, so a
+    /// single-run command costs precisely `disk_service_positioned`.
+    ///
+    /// # Panics
+    /// Panics if `runs` is empty.
+    pub fn disk_service_runs(
+        &self,
+        io: usize,
+        prev_end: Option<u64>,
+        runs: &[(u64, u64)],
+    ) -> SimDuration {
+        let (off0, len0) = runs[0];
+        let mut svc = self.disk_service_positioned(io, prev_end, off0, len0);
+        let mut head = off0 + len0;
+        let base = self.disk_service_time(io, 0, false);
+        for &(off, len) in &runs[1..] {
+            svc += self
+                .disk_service_positioned(io, Some(head), off, len)
+                .saturating_sub(base);
+            head = off + len;
+        }
+        svc
+    }
+
+    /// The per-I/O-node command-queue depth (1 = legacy FIFO path).
+    pub fn io_queue_depth(&self) -> usize {
+        self.cfg.io_queue_depth
+    }
+
     fn apply_speed(&self, io: usize, nominal: SimDuration) -> SimDuration {
         let speed = self.cfg.io_node_speed_of(io);
         if (speed - 1.0).abs() < f64::EPSILON {
@@ -286,6 +320,31 @@ mod tests {
             m.disk_service_positioned(0, None, 4096, 1024),
             m.disk_service_time(0, 1024, true)
         );
+    }
+
+    #[test]
+    fn multi_run_service_matches_the_incremental_arithmetic() {
+        let sim = Sim::new();
+        let m = Machine::new(sim.handle(), presets::paragon_small());
+        // One run degenerates to the positioned cost exactly.
+        assert_eq!(
+            m.disk_service_runs(0, Some(4096), &[(4096, 1024)]),
+            m.disk_service_positioned(0, Some(4096), 4096, 1024)
+        );
+        // Two discontiguous runs: the second pays its positioned cost
+        // minus the per-request overhead (issued once per command).
+        let base = m.disk_service_time(0, 0, false);
+        let expect = m.disk_service_positioned(0, None, 0, 1024)
+            + m.disk_service_positioned(0, Some(1024), 8192, 1024)
+                .saturating_sub(base);
+        assert_eq!(
+            m.disk_service_runs(0, None, &[(0, 1024), (8192, 1024)]),
+            expect
+        );
+        // Adjacent runs cost exactly one merged sequential stream extra.
+        let merged = m.disk_service_runs(0, Some(0), &[(0, 2048)]);
+        let split = m.disk_service_runs(0, Some(0), &[(0, 1024), (1024, 1024)]);
+        assert_eq!(split, merged);
     }
 
     #[test]

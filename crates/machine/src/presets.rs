@@ -98,6 +98,7 @@ pub fn paragon_large() -> MachineConfig {
         fortran: paragon_fortran(),
         unix: paragon_unix(),
         passion: paragon_passion(),
+        io_queue_depth: 1,
         io_node_speed: Vec::new(),
         disk_geometry: None,
         cache: CacheParams::none(),
@@ -174,6 +175,7 @@ pub fn sp2() -> MachineConfig {
         fortran: paragon_fortran(), // not exercised on the SP-2
         unix: sp2_unix(),
         passion: sp2_passion(),
+        io_queue_depth: 1,
         io_node_speed: Vec::new(),
         disk_geometry: None,
         cache: CacheParams::none(),
@@ -233,6 +235,7 @@ pub fn modern_cluster() -> MachineConfig {
             seek: us(1),
             flush: us(30),
         },
+        io_queue_depth: 1,
         io_node_speed: Vec::new(),
         disk_geometry: None,
         cache: CacheParams::none(),

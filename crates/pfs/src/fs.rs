@@ -39,9 +39,11 @@ use std::rc::Rc;
 
 use iosim_cache::BufferCache;
 use iosim_machine::{Interface, Machine};
+use iosim_simkit::sync::Event;
 use iosim_simkit::time::SimTime;
 use iosim_trace::{OpKind, TraceCollector};
 
+use crate::cmdq::{CommandQueues, DiskCommand};
 use crate::layout::Striping;
 use crate::request::IoRequest;
 
@@ -139,6 +141,11 @@ pub struct FileSystem {
     /// I/O-node buffer caches, present iff the machine config enables a
     /// cache policy. `None` keeps the uncached data path untouched.
     cache: Option<Rc<BufferCache>>,
+    /// NCQ-style per-node command queues, present iff the machine config
+    /// sets `io_queue_depth > 1` and no buffer cache runs (cached
+    /// machines keep the cache's own disk scheduling). `None` keeps the
+    /// legacy FIFO reservation path bit-identical.
+    cmdq: Option<CommandQueues>,
     inner: RefCell<FsInner>,
 }
 
@@ -149,10 +156,16 @@ impl FileSystem {
     pub fn new(machine: Rc<Machine>, trace: TraceCollector) -> Rc<FileSystem> {
         let io_nodes = machine.io_nodes();
         let cache = BufferCache::new(&machine, trace.cache().clone());
+        let cmdq = if machine.io_queue_depth() > 1 && cache.is_none() {
+            Some(CommandQueues::new(&machine, trace.queue().clone()))
+        } else {
+            None
+        };
         Rc::new(FileSystem {
             machine,
             trace,
             cache,
+            cmdq,
             inner: RefCell::new(FsInner {
                 files: HashMap::new(),
                 disk_pos: vec![None; io_nodes],
@@ -278,7 +291,7 @@ impl FileSystem {
     /// payload over the network. The striping's node indices are relative
     /// to `node_base` (per-file stripe groups).
     #[allow(clippy::too_many_arguments)]
-    fn book_runs(
+    async fn book_runs(
         &self,
         rank: usize,
         striping: Striping,
@@ -292,6 +305,35 @@ impl FileSystem {
         let now = h.now();
         let cfg = self.machine.cfg();
         let io_nodes = self.machine.io_nodes();
+        if let Some(cmdq) = &self.cmdq {
+            // Command-queue path: submit one command per striping run and
+            // let the node daemons schedule them (out of FIFO order when
+            // profitable). Completion instants arrive via events.
+            let mut waits = Vec::new();
+            for run in striping.runs(offset, len) {
+                let node = (node_base + run.io_node) % io_nodes;
+                let hops = self.machine.topology().io_hops(rank, node);
+                let request_bytes = if is_read { 64 } else { run.bytes };
+                let arrival = now + cfg.net.transfer_time(request_bytes, hops);
+                let done = Event::new();
+                cmdq.submit(
+                    node,
+                    DiskCommand {
+                        arrival,
+                        uid,
+                        runs: vec![(run.local_offset, run.bytes)],
+                        done: done.clone(),
+                    },
+                );
+                let response_bytes = if is_read { run.bytes } else { 0 };
+                waits.push((done, cfg.net.transfer_time(response_bytes, hops)));
+            }
+            let mut latest = now;
+            for (done, response) in waits {
+                latest = latest.max(done.wait().await + response);
+            }
+            return latest;
+        }
         let mut latest = now;
         let mut inner = self.inner.borrow_mut();
         for run in striping.runs(offset, len) {
@@ -339,7 +381,7 @@ impl FileSystem {
     /// transfer (and seek) cost per local run. One request and one
     /// response cross the network per touched node.
     #[allow(clippy::too_many_arguments)]
-    fn book_list(
+    async fn book_list(
         &self,
         rank: usize,
         striping: Striping,
@@ -360,21 +402,59 @@ impl FileSystem {
                 local[node].push((run.local_offset, run.bytes));
             }
         }
+        // Disjoint global extents can be contiguous in a node's local
+        // space: sort and merge adjacent local runs per node first.
+        let merged_per_node: Vec<Vec<(u64, u64)>> = local
+            .into_iter()
+            .map(|mut runs| {
+                runs.sort_unstable();
+                let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+                for (off, len) in runs {
+                    match merged.last_mut() {
+                        Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
+                        _ => merged.push((off, len)),
+                    }
+                }
+                merged
+            })
+            .collect();
+        if let Some(cmdq) = &self.cmdq {
+            // Command-queue path: each touched node gets its merged run
+            // list as one multi-run command (the per-request overhead is
+            // charged once by `disk_service_runs`, like the legacy arm).
+            let mut waits = Vec::new();
+            for (node, merged) in merged_per_node.into_iter().enumerate() {
+                if merged.is_empty() {
+                    continue;
+                }
+                let node_bytes: u64 = merged.iter().map(|&(_, len)| len).sum();
+                let hops = self.machine.topology().io_hops(rank, node);
+                let request_bytes = if is_read { 64 } else { node_bytes };
+                let arrival = now + cfg.net.transfer_time(request_bytes, hops);
+                let done = Event::new();
+                cmdq.submit(
+                    node,
+                    DiskCommand {
+                        arrival,
+                        uid,
+                        runs: merged,
+                        done: done.clone(),
+                    },
+                );
+                let response_bytes = if is_read { node_bytes } else { 0 };
+                waits.push((done, cfg.net.transfer_time(response_bytes, hops)));
+            }
+            let mut latest = now;
+            for (done, response) in waits {
+                latest = latest.max(done.wait().await + response);
+            }
+            return latest;
+        }
         let mut latest = now;
         let mut inner = self.inner.borrow_mut();
-        for (node, mut runs) in local.into_iter().enumerate() {
-            if runs.is_empty() {
+        for (node, merged) in merged_per_node.into_iter().enumerate() {
+            if merged.is_empty() {
                 continue;
-            }
-            runs.sort_unstable();
-            // Disjoint global extents can be contiguous in a node's
-            // local space: merge adjacent local runs first.
-            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
-            for (off, len) in runs {
-                match merged.last_mut() {
-                    Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
-                    _ => merged.push((off, len)),
-                }
             }
             let node_bytes: u64 = merged.iter().map(|&(_, len)| len).sum();
             let hops = self.machine.topology().io_hops(rank, node);
@@ -440,15 +520,22 @@ impl FileSystem {
         use std::fmt::Write as _;
         let mut out = String::new();
         let now = self.machine.handle().now();
-        let _ = writeln!(
+        // Command-queue columns only appear when the NCQ path ran (the
+        // counters never tick on the legacy FIFO path).
+        let cmdq_ran = !self.trace.queue().snapshot().is_empty();
+        let _ = write!(
             out,
             "{:<10} {:>10} {:>12} {:>12} {:>8}",
             "I/O node", "requests", "busy (s)", "queued (s)", "util"
         );
+        if cmdq_ran {
+            let _ = write!(out, " {:>10} {:>9}", "mean depth", "reorders");
+        }
+        let _ = writeln!(out);
         for i in 0..self.machine.io_nodes() {
             let q = self.machine.io_queue(i);
             let st = q.stats();
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:<10} {:>10} {:>12.3} {:>12.3} {:>7.1}%",
                 i,
@@ -457,6 +544,11 @@ impl FileSystem {
                 st.queued.as_secs_f64(),
                 100.0 * st.utilization(now, q.capacity()),
             );
+            if cmdq_ran {
+                let qs = self.trace.queue().node_snapshot(i);
+                let _ = write!(out, " {:>10.1} {:>9}", qs.mean_depth(), qs.reorders);
+            }
+            let _ = writeln!(out);
         }
         let _ = writeln!(out, "files:");
         for name in self.file_names() {
@@ -477,6 +569,12 @@ pub struct FileHandle {
 }
 
 impl FileHandle {
+    /// The file system this handle belongs to (collective writers need
+    /// its machine config and trace collector).
+    pub fn fs(&self) -> &Rc<FileSystem> {
+        &self.fs
+    }
+
     /// The simulation handle of the machine this file lives on.
     pub fn sim_handle(&self) -> iosim_simkit::executor::SimHandle {
         self.fs.machine.handle().clone()
@@ -553,6 +651,7 @@ impl FileHandle {
             len,
             kind == OpKind::Read,
         );
+        let done = done.await;
         h.sleep_until(done).await;
         self.fs.trace.record(self.rank, kind, start, h.now(), len);
     }
@@ -574,14 +673,18 @@ impl FileHandle {
             let f = self.file.borrow();
             (f.striping, f.node_base, f.uid)
         };
-        let done = self.fs.book_list(
-            self.rank,
-            striping,
-            node_base,
-            uid,
-            &req.coalesced(),
-            kind == OpKind::Read,
-        );
+        let coalesced = req.coalesced();
+        let done = self
+            .fs
+            .book_list(
+                self.rank,
+                striping,
+                node_base,
+                uid,
+                &coalesced,
+                kind == OpKind::Read,
+            )
+            .await;
         h.sleep_until(done).await;
         self.fs
             .trace

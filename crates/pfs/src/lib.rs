@@ -22,7 +22,9 @@
 //! which reproduces the paper's Pablo trace tables.
 //!
 //! [`Interface`]: iosim_machine::Interface
+//! [`Interface::Passion`]: iosim_machine::Interface::Passion
 
+mod cmdq;
 pub mod fs;
 pub mod layout;
 pub mod modes;

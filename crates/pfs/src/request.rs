@@ -16,7 +16,19 @@
 //! sorted, coalesced view ([`IoRequest::coalesced`]).
 
 /// A noncontiguous file request: an ordered list of `(offset, len)`
-/// extents. Zero-length extents are dropped at construction.
+/// extents. Zero-length extents are dropped at construction (and by
+/// [`IoRequest::push`]), so `fragments()` counts only real fragments.
+///
+/// Overlapping extents are legal and handled deterministically:
+///
+/// - **Timing** always uses [`IoRequest::coalesced`], which merges
+///   overlapping (and adjacent) ranges, so overlapped bytes are charged
+///   exactly once on the disk queues.
+/// - **Payload** is scatter-gathered in extent-list order: `readv`
+///   returns each fragment's bytes independently (overlapped bytes are
+///   returned once per extent that covers them) and `writev` applies
+///   fragments first to last, so on overlapped ranges the **last**
+///   extent's bytes win.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IoRequest {
     extents: Vec<(u64, u64)>,
@@ -54,7 +66,9 @@ impl IoRequest {
         )
     }
 
-    /// An arbitrary extent list, in scatter-gather order.
+    /// An arbitrary extent list, in scatter-gather order. Zero-length
+    /// extents are filtered out; overlapping extents are kept verbatim
+    /// (see the type-level docs for their deterministic semantics).
     pub fn from_extents(extents: Vec<(u64, u64)>) -> IoRequest {
         IoRequest {
             extents: extents.into_iter().filter(|&(_, len)| len > 0).collect(),
@@ -169,5 +183,39 @@ mod tests {
         r.push(5, 0);
         r.push(5, 3);
         assert_eq!(r.extents(), &[(5, 3)]);
+    }
+
+    #[test]
+    fn constructors_filter_zero_length_extents() {
+        let r = IoRequest::from_extents(vec![(0, 0), (10, 4), (20, 0), (30, 2), (40, 0)]);
+        assert_eq!(r.extents(), &[(10, 4), (30, 2)]);
+        assert_eq!(r.fragments(), 2);
+        // Zero-length fragments of a strided pattern vanish entirely.
+        assert!(IoRequest::strided(0, 0, 16, 8).is_empty());
+        assert!(IoRequest::block_cyclic(0, 1, 3, 0, 5).is_empty());
+        // An all-empty list has a well-defined end.
+        assert_eq!(IoRequest::from_extents(vec![(100, 0)]).end(), 0);
+    }
+
+    #[test]
+    fn overlapping_extents_are_kept_but_charged_once() {
+        // Identical, contained, and partially overlapping fragments all
+        // survive in scatter-gather order...
+        let r = IoRequest::from_extents(vec![(0, 10), (0, 10), (4, 2), (8, 6)]);
+        assert_eq!(r.extents(), &[(0, 10), (0, 10), (4, 2), (8, 6)]);
+        // ...and the payload size counts every fragment...
+        assert_eq!(r.total_bytes(), 28);
+        // ...but the timing view merges the overlaps to one range, so
+        // the disk queues are charged for 14 distinct bytes.
+        assert_eq!(r.coalesced(), vec![(0, 14)]);
+        assert_eq!(r.end(), 14);
+    }
+
+    #[test]
+    fn coalescing_overlaps_is_order_independent() {
+        let fwd = IoRequest::from_extents(vec![(0, 8), (4, 8), (12, 4)]);
+        let rev = IoRequest::from_extents(vec![(12, 4), (4, 8), (0, 8)]);
+        assert_eq!(fwd.coalesced(), rev.coalesced());
+        assert_eq!(fwd.coalesced(), vec![(0, 16)]);
     }
 }

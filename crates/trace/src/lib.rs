@@ -18,11 +18,13 @@ pub mod cache;
 pub mod figure;
 pub mod hist;
 pub mod listio;
+pub mod queue;
 pub mod report;
 
 pub use cache::{CacheCounters, CacheSnapshot};
 pub use hist::SizeHistogram;
 pub use listio::{ListIoCounters, ListIoSnapshot};
+pub use queue::{QueueCounters, QueueSnapshot};
 
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -109,6 +111,7 @@ pub struct TraceCollector {
     inner: Rc<RefCell<CollectorInner>>,
     cache: cache::CacheCounters,
     listio: listio::ListIoCounters,
+    queue: queue::QueueCounters,
 }
 
 impl TraceCollector {
@@ -243,11 +246,19 @@ impl TraceCollector {
         &self.listio
     }
 
+    /// Command-queue counters fed by the `iosim-pfs` per-node command
+    /// queues (depth > 1 machines). Shared across clones like the op
+    /// aggregation.
+    pub fn queue(&self) -> &queue::QueueCounters {
+        &self.queue
+    }
+
     /// Reset all aggregation (e.g. to exclude a warm-up phase).
     pub fn reset(&self) {
         *self.inner.borrow_mut() = CollectorInner::default();
         self.cache.reset();
         self.listio.reset();
+        self.queue.reset();
     }
 }
 

@@ -100,6 +100,7 @@ fn run_scf11(o: &Opts) -> RunResult {
         stripe_unit_kb: o.get("stripe-kb", 64),
         scale: o.get("scale", 1.0),
         cache_mb: o.get("cache", 0),
+        queue_depth: o.get("queue-depth", 1),
         ..scf11::Scf11Config::new(input, version)
     };
     eprintln!(
@@ -120,6 +121,7 @@ fn run_scf30(o: &Opts) -> RunResult {
         prefetch: !o.flag("no-prefetch"),
         scale: o.get("scale", 1.0),
         cache_mb: o.get("cache", 0),
+        queue_depth: o.get("queue-depth", 1),
         ..scf30::Scf30Config::new(
             scf11::ScfInput::Medium,
             o.get("procs", 32),
@@ -140,6 +142,7 @@ fn run_fft(o: &Opts) -> RunResult {
     cfg.io_nodes = o.get("io-nodes", 2);
     cfg.mem_per_proc = o.get("mem-mb", 16u64) << 20;
     cfg.cache_mb = o.get("cache", 0);
+    cfg.queue_depth = o.get("queue-depth", 1);
     eprintln!(
         "2-D out-of-core FFT {}x{} complex, {} procs, {} I/O nodes, optimized={}",
         cfg.n, cfg.n, cfg.procs, cfg.io_nodes, cfg.optimized
@@ -162,6 +165,7 @@ fn run_btio(o: &Opts) -> RunResult {
         dumps: o.get("dumps", 40),
         verify: o.flag("verify"),
         cache_mb: o.get("cache", 0),
+        queue_depth: o.get("queue-depth", 1),
         ..btio::BtioConfig::new(class, o.get("procs", 16), o.flag("optimized"))
     };
     eprintln!(
@@ -182,6 +186,7 @@ fn run_ast(o: &Opts) -> RunResult {
         dumps: o.get("dumps", 10),
         restart: o.flag("restart"),
         cache_mb: o.get("cache", 0),
+        queue_depth: o.get("queue-depth", 1),
         ..ast::AstConfig::new(
             o.get("procs", 16),
             o.get("io-nodes", 16),
@@ -248,6 +253,12 @@ fn print_result(r: &RunResult) {
     if !r.listio.is_empty() {
         println!("{}", r.listio.render_line());
     }
+    if !r.queue.is_empty() {
+        println!("{}", r.queue.render_line());
+        if let Some(batching) = r.queue.render_batching_line() {
+            println!("{batching}");
+        }
+    }
     println!();
     println!(
         "{}",
@@ -262,6 +273,7 @@ fn usage() {
          \n\
          common flags: --procs N --io-nodes N --scale X --optimized\n\
          \x20             --cache MB   per-I/O-node LRU buffer cache (0 = off, the default)\n\
+         \x20             --queue-depth N   I/O-node command-queue depth (1 = FIFO, the default)\n\
          scf11: --input small|medium|large --version original|passion|prefetch --mem-kb N --stripe-kb N\n\
          scf30: --cached PCT --unbalanced --no-prefetch\n\
          fft:   --n N --mem-mb N\n\

@@ -46,8 +46,8 @@ pub use iosim_trace as trace;
 pub mod prelude {
     pub use iosim_apps::common::{run_ranks, AppCtx, RunResult};
     pub use iosim_core::{
-        read_collective, write_collective, FileLayout, OocArray, PackedWriter, Piece, Prefetcher,
-        SemiDirect, Span,
+        read_collective, write_collective, write_collective_batched, FileLayout, OocArray,
+        PackedWriter, Piece, Prefetcher, SemiDirect, Span,
     };
     pub use iosim_machine::{presets, Interface, Machine, MachineConfig};
     pub use iosim_msg::{Comm, MatchSrc, Payload, World};

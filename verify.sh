@@ -16,6 +16,9 @@ cargo fmt --all -- --check
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
 echo "== workspace tests =="
 cargo test -q --offline --workspace
 
