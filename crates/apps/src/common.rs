@@ -60,6 +60,15 @@ pub struct RunResult {
     /// I/O-node command-queue behaviour (all zero when the machine runs
     /// with the default queue depth of 1, i.e. the legacy FIFO path).
     pub queue: QueueSnapshot,
+    /// Scheduler events (task polls) executed by the simulation engine.
+    pub sim_events: u64,
+    /// Order-sensitive hash of the task schedule
+    /// ([`Sim::schedule_fingerprint`]); the regression oracle for
+    /// executor changes.
+    pub sched_fingerprint: u64,
+    /// Host wall-clock time the simulation took to run (not virtual
+    /// time; machine-dependent, reported for `events_per_sec`).
+    pub host_elapsed: std::time::Duration,
 }
 
 impl RunResult {
@@ -85,6 +94,17 @@ impl RunResult {
         let e = self.exec_time.as_secs_f64();
         if e > 0.0 {
             (self.io_time.as_secs_f64() / e).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Scheduler throughput on the host: task polls per second of host
+    /// wall-clock time. Zero if the run was too fast to time.
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.host_elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.sim_events as f64 / s
         } else {
             0.0
         }
@@ -149,7 +169,9 @@ pub fn run_ranks(
         let done = join_all(&h, futs).await;
         done.len()
     });
+    let host_t0 = std::time::Instant::now();
     let end = sim.run();
+    let host_elapsed = host_t0.elapsed();
     assert_eq!(
         jh.try_take().expect("application deadlocked"),
         n,
@@ -170,6 +192,9 @@ pub fn run_ranks(
         cache: trace.cache().snapshot(),
         listio: trace.listio().snapshot(),
         queue: trace.queue().snapshot(),
+        sim_events: sim.events_processed(),
+        sched_fingerprint: sim.schedule_fingerprint(),
+        host_elapsed,
     }
 }
 

@@ -1,0 +1,271 @@
+//! Faithful replica of the pre-rewrite `simkit` executor, kept as the
+//! comparison baseline for the scheduler microbenchmarks.
+//!
+//! The original executor (removed in the hot-loop overhaul, see DESIGN.md
+//! §15) paid for thread-safety it could not use: every wake took an
+//! `Arc<Mutex<VecDeque>>` lock, every poll allocated a fresh
+//! `Arc<TaskWaker>` and did a `HashMap` remove + re-insert, and timers
+//! popped one heap entry per trip through the run loop. This module
+//! reproduces exactly that cost structure so `bench wallclock` can report
+//! the rewrite's speedup on identical workloads, using the same
+//! `BoxFuture` task shape and the same `(time, seq)` timer contract.
+//!
+//! It is deliberately *not* public API of the simulation — only the
+//! benchmark harness drives it.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use iosim_simkit::time::{SimDuration, SimTime};
+
+type TaskId = u64;
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+struct TimerEntry {
+    time: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct TaskWaker {
+    id: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
+    }
+}
+
+struct Core {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    ready: ReadyQueue,
+    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
+    next_task: Cell<TaskId>,
+    events_processed: Cell<u64>,
+}
+
+/// Handle into a running baseline simulation.
+#[derive(Clone)]
+pub struct BaselineHandle {
+    core: Rc<Core>,
+}
+
+/// The pre-rewrite executor: `Mutex` ready queue, `HashMap` task store,
+/// one `Arc` waker allocation per poll.
+pub struct BaselineSim {
+    handle: BaselineHandle,
+}
+
+impl Default for BaselineSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineSim {
+    /// Create an empty baseline simulation at virtual time zero.
+    pub fn new() -> BaselineSim {
+        BaselineSim {
+            handle: BaselineHandle {
+                core: Rc::new(Core {
+                    now: Cell::new(SimTime::ZERO),
+                    seq: Cell::new(0),
+                    timers: RefCell::new(BinaryHeap::new()),
+                    ready: Arc::new(Mutex::new(VecDeque::new())),
+                    tasks: RefCell::new(HashMap::new()),
+                    next_task: Cell::new(0),
+                    events_processed: Cell::new(0),
+                }),
+            },
+        }
+    }
+
+    /// The handle used by tasks to interact with the simulation.
+    pub fn handle(&self) -> BaselineHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn a root task.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.handle.spawn(fut)
+    }
+
+    /// Run until no runnable task and no pending timer remain; return the
+    /// final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        let core = &self.handle.core;
+        loop {
+            loop {
+                let tid = core.ready.lock().expect("ready queue poisoned").pop_front();
+                let Some(tid) = tid else { break };
+                let Some(mut fut) = core.tasks.borrow_mut().remove(&tid) else {
+                    continue; // stale wake
+                };
+                core.events_processed.set(core.events_processed.get() + 1);
+                let waker = Waker::from(Arc::new(TaskWaker {
+                    id: tid,
+                    ready: Arc::clone(&core.ready),
+                }));
+                let mut cx = Context::from_waker(&waker);
+                if fut.as_mut().poll(&mut cx).is_pending() {
+                    core.tasks.borrow_mut().insert(tid, fut);
+                }
+            }
+            let next = core.timers.borrow_mut().pop();
+            match next {
+                Some(Reverse(entry)) => {
+                    core.now.set(entry.time);
+                    entry.waker.wake();
+                }
+                None => break,
+            }
+        }
+        core.now.get()
+    }
+
+    /// Task polls performed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.handle.core.events_processed.get()
+    }
+}
+
+impl BaselineHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Spawn a task.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        let id = self.core.next_task.get();
+        self.core.next_task.set(id + 1);
+        self.core.tasks.borrow_mut().insert(id, Box::pin(fut));
+        self.core
+            .ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+    }
+
+    /// Sleep for `dur` of virtual time.
+    pub fn sleep(&self, dur: SimDuration) -> BaselineSleep {
+        BaselineSleep {
+            handle: self.clone(),
+            deadline: self.now() + dur,
+            registered: false,
+        }
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.core.seq.get();
+        self.core.seq.set(seq + 1);
+        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+            time: deadline.max(self.now()),
+            seq,
+            waker,
+        }));
+    }
+}
+
+/// Future returned by [`BaselineHandle::sleep`]. Replicates the original
+/// register-once behaviour (including its stale-waker quirk — irrelevant
+/// for the storm workloads, which never migrate a sleep between tasks).
+pub struct BaselineSleep {
+    handle: BaselineHandle,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for BaselineSleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.handle.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_sleep_advances_time() {
+        let mut sim = BaselineSim::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(SimDuration::from_millis(5)).await;
+        });
+        assert_eq!(sim.run(), SimTime(5_000_000));
+        assert!(sim.events_processed() >= 2);
+    }
+
+    #[test]
+    fn baseline_channels_work() {
+        // The sync primitives are executor-agnostic; the baseline drives
+        // them through its own wakers.
+        let (tx, rx) = iosim_simkit::sync::channel::<u32>();
+        let mut sim = BaselineSim::new();
+        let h = sim.handle();
+        let got = Rc::new(Cell::new(0u32));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            while let Some(v) = rx.recv().await {
+                got2.set(got2.get() + v);
+            }
+        });
+        sim.spawn(async move {
+            let h2 = h.clone();
+            for i in 1..=4 {
+                h2.sleep(SimDuration::from_micros(i as u64)).await;
+                tx.send(i);
+            }
+        });
+        sim.run();
+        assert_eq!(got.get(), 10);
+    }
+}

@@ -1,0 +1,984 @@
+//! Wall-clock benchmark layer: `bench wallclock`.
+//!
+//! Times four scheduler microbenchmarks (spawn, sleep, channel, and
+//! ping storms) on the current `simkit` executor *and* on the pre-rewrite
+//! baseline replica ([`crate::baseline`]), times the five applications and
+//! the full repro suite, and emits everything as `BENCH_wallclock.json` so
+//! every PR has a host-performance trajectory (paper-side motivation:
+//! Kunkel et al., *Tools for Analyzing Parallel I/O* — you can't optimize
+//! what you don't measure).
+//!
+//! Timings are machine-dependent; consumers must only compare across runs
+//! on the same host and must never gate CI on them. The JSON layout is
+//! validated by [`validate`], which `verify.sh` runs on both the smoke
+//! output and the committed trajectory file.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use iosim_simkit::executor::Sim;
+use iosim_simkit::sync::channel;
+use iosim_simkit::time::SimDuration;
+
+use crate::baseline::BaselineSim;
+use crate::experiments;
+
+/// One timed executor workload.
+#[derive(Clone, Copy, Debug)]
+pub struct StormResult {
+    /// Best-of-reps host wall time.
+    pub wall: Duration,
+    /// Task polls the run performed (identical across reps).
+    pub events: u64,
+}
+
+impl StormResult {
+    /// Scheduler throughput: polls per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A microbench pair: same workload on the rewritten executor and on the
+/// Mutex+HashMap baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct StormPair {
+    pub current: StormResult,
+    pub baseline: StormResult,
+}
+
+impl StormPair {
+    /// Wall-time ratio baseline/current on the identical workload (>1
+    /// means the rewrite is faster). Wall time — not the events/sec ratio
+    /// — is the honest comparison: on wake-heavy workloads the baseline
+    /// performs extra duplicate polls that the rewrite's wake dedup
+    /// eliminates, which inflate the baseline's poll count and would make
+    /// a polls/sec ratio understate the real speedup.
+    pub fn speedup(&self) -> f64 {
+        let c = self.current.wall.as_secs_f64();
+        if c > 0.0 {
+            self.baseline.wall.as_secs_f64() / c
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Workload sizes for the three storms.
+#[derive(Clone, Copy, Debug)]
+pub struct StormConfig {
+    /// spawn storm: `rounds` waves of `batch` immediately-completing tasks.
+    pub spawn_rounds: usize,
+    pub spawn_batch: usize,
+    /// sleep storm: `tasks` tasks each sleeping `iters` times.
+    pub sleep_tasks: usize,
+    pub sleep_iters: usize,
+    /// channel storm: `pairs` producer/consumer pairs moving `msgs` each.
+    pub chan_pairs: usize,
+    pub chan_msgs: usize,
+    /// ping storm: `pairs` task pairs ping-ponging `rounds` round trips.
+    pub ping_pairs: usize,
+    pub ping_rounds: usize,
+    /// Repetitions per storm; best (minimum wall time) is reported.
+    pub reps: usize,
+}
+
+impl StormConfig {
+    /// Full-size storms for the committed trajectory file.
+    pub fn full() -> StormConfig {
+        StormConfig {
+            spawn_rounds: 64,
+            spawn_batch: 512,
+            sleep_tasks: 2048,
+            sleep_iters: 64,
+            chan_pairs: 256,
+            chan_msgs: 512,
+            ping_pairs: 64,
+            ping_rounds: 1024,
+            reps: 3,
+        }
+    }
+
+    /// Small storms for the CI smoke gate.
+    pub fn smoke() -> StormConfig {
+        StormConfig {
+            spawn_rounds: 8,
+            spawn_batch: 64,
+            sleep_tasks: 128,
+            sleep_iters: 8,
+            chan_pairs: 32,
+            chan_msgs: 64,
+            ping_pairs: 8,
+            ping_rounds: 64,
+            reps: 1,
+        }
+    }
+}
+
+/// Measure a current/baseline pair with one discarded warmup each and
+/// `reps` interleaved repetitions (current, baseline, current, …), taking
+/// each side's best wall time. Interleaving keeps slow drift in host CPU
+/// frequency from biasing whichever side happens to run later.
+fn measure_pair<C, B>(reps: usize, mut current: C, mut baseline: B) -> StormPair
+where
+    C: FnMut() -> StormResult,
+    B: FnMut() -> StormResult,
+{
+    let _ = current();
+    let _ = baseline();
+    let mut best_c = current();
+    let mut best_b = baseline();
+    for _ in 1..reps.max(1) {
+        let c = current();
+        if c.wall < best_c.wall {
+            best_c = c;
+        }
+        let b = baseline();
+        if b.wall < best_b.wall {
+            best_b = b;
+        }
+    }
+    StormPair {
+        current: best_c,
+        baseline: best_b,
+    }
+}
+
+/// Spawn storm: waves of immediately-completing tasks — stresses task
+/// admission and retirement (slab alloc/free vs `HashMap` insert/remove).
+/// The workload is shaped identically on both executors (counter-completed
+/// tasks, a 1 ns virtual-time ladder between waves) so events/sec compares
+/// the schedulers, not the workloads.
+pub fn spawn_storm_current(cfg: &StormConfig) -> StormResult {
+    use std::cell::Cell;
+    use std::rc::Rc;
+    {
+        let mut sim = Sim::new();
+        let h = sim.handle();
+        let done: Rc<Cell<usize>> = Rc::default();
+        let done2 = Rc::clone(&done);
+        let (rounds, batch) = (cfg.spawn_rounds, cfg.spawn_batch);
+        sim.spawn(async move {
+            for _ in 0..rounds {
+                for _ in 0..batch {
+                    let d = Rc::clone(&done2);
+                    h.spawn(async move {
+                        d.set(d.get() + 1);
+                    });
+                }
+                h.sleep(SimDuration::from_nanos(1)).await;
+            }
+        });
+        let t0 = Instant::now();
+        sim.run();
+        let events = sim.events_processed();
+        assert_eq!(done.get(), cfg.spawn_rounds * cfg.spawn_batch);
+        StormResult {
+            wall: t0.elapsed(),
+            events,
+        }
+    }
+}
+
+/// Spawn storm on the baseline executor (same wave structure; completion
+/// is tracked by counter since the baseline has no join handles).
+pub fn spawn_storm_baseline(cfg: &StormConfig) -> StormResult {
+    use std::cell::Cell;
+    use std::rc::Rc;
+    {
+        let mut sim = BaselineSim::new();
+        // Waves via a zero-cost virtual-time ladder: each wave's tasks
+        // complete at the same instant; the next wave is spawned by a
+        // coordinator sleeping 1 ns between waves.
+        let h = sim.handle();
+        let done: Rc<Cell<usize>> = Rc::default();
+        let done2 = Rc::clone(&done);
+        let (rounds, batch) = (cfg.spawn_rounds, cfg.spawn_batch);
+        sim.spawn(async move {
+            for _ in 0..rounds {
+                for _ in 0..batch {
+                    let d = Rc::clone(&done2);
+                    h.spawn(async move {
+                        d.set(d.get() + 1);
+                    });
+                }
+                h.sleep(SimDuration::from_nanos(1)).await;
+            }
+        });
+        let t0 = Instant::now();
+        sim.run();
+        let events = sim.events_processed();
+        assert_eq!(done.get(), cfg.spawn_rounds * cfg.spawn_batch);
+        StormResult {
+            wall: t0.elapsed(),
+            events,
+        }
+    }
+}
+
+/// Sleep storm: many tasks ticking through staggered timers — stresses
+/// the timer heap and the wake → poll round trip.
+pub fn sleep_storm_current(cfg: &StormConfig) -> StormResult {
+    {
+        let mut sim = Sim::new();
+        for i in 0..cfg.sleep_tasks {
+            let h = sim.handle();
+            let iters = cfg.sleep_iters;
+            sim.spawn(async move {
+                for _ in 0..iters {
+                    h.sleep(SimDuration::from_micros((i % 7 + 1) as u64)).await;
+                }
+            });
+        }
+        let t0 = Instant::now();
+        sim.run();
+        StormResult {
+            wall: t0.elapsed(),
+            events: sim.events_processed(),
+        }
+    }
+}
+
+/// Sleep storm on the baseline executor.
+pub fn sleep_storm_baseline(cfg: &StormConfig) -> StormResult {
+    {
+        let mut sim = BaselineSim::new();
+        for i in 0..cfg.sleep_tasks {
+            let h = sim.handle();
+            let iters = cfg.sleep_iters;
+            sim.spawn(async move {
+                for _ in 0..iters {
+                    h.sleep(SimDuration::from_micros((i % 7 + 1) as u64)).await;
+                }
+            });
+        }
+        let t0 = Instant::now();
+        sim.run();
+        StormResult {
+            wall: t0.elapsed(),
+            events: sim.events_processed(),
+        }
+    }
+}
+
+/// Channel storm: producer/consumer pairs where the producer paces itself
+/// with a timer — stresses wake delivery (and, on the current executor,
+/// the duplicate-wake dedup).
+pub fn channel_storm_current(cfg: &StormConfig) -> StormResult {
+    {
+        let mut sim = Sim::new();
+        for p in 0..cfg.chan_pairs {
+            let (tx, rx) = channel::<u32>();
+            let h = sim.handle();
+            let msgs = cfg.chan_msgs;
+            sim.spawn(async move {
+                for m in 0..msgs {
+                    if m % 16 == 0 {
+                        h.sleep(SimDuration::from_micros((p % 5 + 1) as u64)).await;
+                    }
+                    tx.send(m as u32);
+                }
+            });
+            sim.spawn(async move {
+                let mut sum = 0u64;
+                while let Some(v) = rx.recv().await {
+                    sum += v as u64;
+                }
+                std::hint::black_box(sum);
+            });
+        }
+        let t0 = Instant::now();
+        sim.run();
+        StormResult {
+            wall: t0.elapsed(),
+            events: sim.events_processed(),
+        }
+    }
+}
+
+/// Channel storm on the baseline executor (the sync primitives are
+/// executor-agnostic).
+pub fn channel_storm_baseline(cfg: &StormConfig) -> StormResult {
+    {
+        let mut sim = BaselineSim::new();
+        for p in 0..cfg.chan_pairs {
+            let (tx, rx) = channel::<u32>();
+            let h = sim.handle();
+            let msgs = cfg.chan_msgs;
+            sim.spawn(async move {
+                for m in 0..msgs {
+                    if m % 16 == 0 {
+                        h.sleep(SimDuration::from_micros((p % 5 + 1) as u64)).await;
+                    }
+                    tx.send(m as u32);
+                }
+            });
+            sim.spawn(async move {
+                let mut sum = 0u64;
+                while let Some(v) = rx.recv().await {
+                    sum += v as u64;
+                }
+                std::hint::black_box(sum);
+            });
+        }
+        let t0 = Instant::now();
+        sim.run();
+        StormResult {
+            wall: t0.elapsed(),
+            events: sim.events_processed(),
+        }
+    }
+}
+
+/// Ping storm: task pairs ping-ponging over a pair of channels — no
+/// timers at all, so the wake -> poll round trip dominates and the pair
+/// isolates raw scheduler overhead better than the other storms.
+pub fn ping_storm_current(cfg: &StormConfig) -> StormResult {
+    let mut sim = Sim::new();
+    for _ in 0..cfg.ping_pairs {
+        let (ping_tx, ping_rx) = channel::<u32>();
+        let (pong_tx, pong_rx) = channel::<u32>();
+        let rounds = cfg.ping_rounds;
+        sim.spawn(async move {
+            for i in 0..rounds {
+                ping_tx.send(i as u32);
+                let _ = pong_rx.recv().await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..rounds {
+                if let Some(v) = ping_rx.recv().await {
+                    pong_tx.send(v);
+                }
+            }
+        });
+    }
+    let t0 = Instant::now();
+    sim.run();
+    StormResult {
+        wall: t0.elapsed(),
+        events: sim.events_processed(),
+    }
+}
+
+/// Ping storm on the baseline executor.
+pub fn ping_storm_baseline(cfg: &StormConfig) -> StormResult {
+    let mut sim = BaselineSim::new();
+    for _ in 0..cfg.ping_pairs {
+        let (ping_tx, ping_rx) = channel::<u32>();
+        let (pong_tx, pong_rx) = channel::<u32>();
+        let rounds = cfg.ping_rounds;
+        sim.spawn(async move {
+            for i in 0..rounds {
+                ping_tx.send(i as u32);
+                let _ = pong_rx.recv().await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..rounds {
+                if let Some(v) = ping_rx.recv().await {
+                    pong_tx.send(v);
+                }
+            }
+        });
+    }
+    let t0 = Instant::now();
+    sim.run();
+    StormResult {
+        wall: t0.elapsed(),
+        events: sim.events_processed(),
+    }
+}
+
+/// One timed application run.
+#[derive(Clone, Debug)]
+pub struct AppTiming {
+    pub name: &'static str,
+    pub wall: Duration,
+    pub sim_events: u64,
+    pub events_per_sec: f64,
+    pub virtual_exec_s: f64,
+}
+
+/// One timed repro experiment.
+#[derive(Clone, Debug)]
+pub struct ReproTiming {
+    pub id: &'static str,
+    pub wall: Duration,
+    pub shape_holds: bool,
+}
+
+/// The full wall-clock report.
+#[derive(Clone, Debug)]
+pub struct WallclockReport {
+    pub smoke: bool,
+    pub scale: f64,
+    pub spawn: StormPair,
+    pub sleep: StormPair,
+    pub chan: StormPair,
+    pub ping: StormPair,
+    pub apps: Vec<AppTiming>,
+    pub repro: Vec<ReproTiming>,
+    pub total_wall: Duration,
+}
+
+/// Time the five applications at fixed small configurations, reporting
+/// scheduler throughput (`Sim::events_processed` over host time) through
+/// `RunResult::events_per_sec`.
+pub fn time_apps(scale: f64) -> Vec<AppTiming> {
+    use iosim_apps::{ast, btio, fft, scf11, scf30, RunResult};
+    type AppRunner = Box<dyn Fn() -> RunResult>;
+    let apps: Vec<(&'static str, AppRunner)> = vec![
+        (
+            "scf11",
+            Box::new(move || {
+                scf11::run(&scf11::Scf11Config {
+                    scale,
+                    ..scf11::Scf11Config::new(
+                        scf11::ScfInput::Small,
+                        scf11::Scf11Version::PassionPrefetch,
+                    )
+                })
+                .run
+            }),
+        ),
+        (
+            "scf30",
+            Box::new(move || {
+                scf30::run(&scf30::Scf30Config {
+                    scale,
+                    ..scf30::Scf30Config::new(scf11::ScfInput::Small, 8, 75)
+                })
+                .run
+            }),
+        ),
+        (
+            "fft",
+            Box::new(|| fft::run(&fft::FftConfig::new(128, 4, true))),
+        ),
+        (
+            "btio",
+            Box::new(|| {
+                btio::run(&btio::BtioConfig {
+                    dumps: 2,
+                    ..btio::BtioConfig::new(btio::BtClass::Custom(16), 9, false)
+                })
+            }),
+        ),
+        (
+            "ast",
+            Box::new(|| {
+                ast::run(&ast::AstConfig {
+                    grid: 64,
+                    arrays: 2,
+                    dumps: 2,
+                    ..ast::AstConfig::new(4, 16, true)
+                })
+            }),
+        ),
+    ];
+    apps.into_iter()
+        .map(|(name, f)| {
+            let t0 = Instant::now();
+            let r = f();
+            AppTiming {
+                name,
+                wall: t0.elapsed(),
+                sim_events: r.sim_events,
+                events_per_sec: r.events_per_sec(),
+                virtual_exec_s: r.exec_time.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Time every experiment of the repro suite at `scale`.
+pub fn time_repro(scale: f64) -> Vec<ReproTiming> {
+    experiments::IDS
+        .iter()
+        .map(|id| {
+            let t0 = Instant::now();
+            let report = experiments::by_id(id, scale).expect("known id");
+            ReproTiming {
+                id,
+                wall: t0.elapsed(),
+                shape_holds: report.shape_holds(),
+            }
+        })
+        .collect()
+}
+
+/// Run the whole wall-clock suite.
+pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
+    let cfg = if smoke {
+        StormConfig::smoke()
+    } else {
+        StormConfig::full()
+    };
+    let t0 = Instant::now();
+    eprintln!("[wallclock] microbench: spawn storm");
+    let spawn = measure_pair(
+        cfg.reps,
+        || spawn_storm_current(&cfg),
+        || spawn_storm_baseline(&cfg),
+    );
+    eprintln!("[wallclock] microbench: sleep storm");
+    let sleep = measure_pair(
+        cfg.reps,
+        || sleep_storm_current(&cfg),
+        || sleep_storm_baseline(&cfg),
+    );
+    eprintln!("[wallclock] microbench: channel storm");
+    let chan = measure_pair(
+        cfg.reps,
+        || channel_storm_current(&cfg),
+        || channel_storm_baseline(&cfg),
+    );
+    eprintln!("[wallclock] microbench: ping storm");
+    let ping = measure_pair(
+        cfg.reps,
+        || ping_storm_current(&cfg),
+        || ping_storm_baseline(&cfg),
+    );
+    eprintln!("[wallclock] apps");
+    let apps = time_apps(if smoke { 0.02 } else { 0.1 });
+    eprintln!("[wallclock] repro suite at scale {scale}");
+    let repro = time_repro(scale);
+    WallclockReport {
+        smoke,
+        scale,
+        spawn,
+        sleep,
+        chan,
+        ping,
+        apps,
+        repro,
+        total_wall: t0.elapsed(),
+    }
+}
+
+fn write_storm(out: &mut String, name: &str, pair: &StormPair) {
+    let _ = write!(
+        out,
+        "    \"{name}\": {{\n      \"executor\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}}},\n      \"baseline_mutex_hashmap\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}}},\n      \"speedup\": {:.3}\n    }}",
+        pair.current.wall.as_secs_f64(),
+        pair.current.events,
+        pair.current.events_per_sec(),
+        pair.baseline.wall.as_secs_f64(),
+        pair.baseline.events,
+        pair.baseline.events_per_sec(),
+        pair.speedup(),
+    );
+}
+
+/// Render the report as the `BENCH_wallclock.json` document.
+pub fn emit_json(r: &WallclockReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v1\",");
+    let _ = writeln!(out, "  \"smoke\": {},", r.smoke);
+    let _ = writeln!(out, "  \"scale\": {},", r.scale);
+    out.push_str("  \"microbench\": {\n");
+    write_storm(&mut out, "spawn_storm", &r.spawn);
+    out.push_str(",\n");
+    write_storm(&mut out, "sleep_storm", &r.sleep);
+    out.push_str(",\n");
+    write_storm(&mut out, "channel_storm", &r.chan);
+    out.push_str(",\n");
+    write_storm(&mut out, "ping_storm", &r.ping);
+    out.push_str("\n  },\n");
+    out.push_str("  \"apps\": {\n");
+    for (k, a) in r.apps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"wall_s\": {:.6}, \"sim_events\": {}, \"events_per_sec\": {:.1}, \"virtual_exec_s\": {:.6}}}{}",
+            a.name,
+            a.wall.as_secs_f64(),
+            a.sim_events,
+            a.events_per_sec,
+            a.virtual_exec_s,
+            if k + 1 < r.apps.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"repro\": {\n");
+    for (k, t) in r.repro.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"wall_s\": {:.6}, \"shape_holds\": {}}}{}",
+            t.id,
+            t.wall.as_secs_f64(),
+            t.shape_holds,
+            if k + 1 < r.repro.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"total_wall_s\": {:.6}", r.total_wall.as_secs_f64());
+    out.push_str("}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for validation (the workspace builds offline with
+// no external dependencies, so no serde).
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (objects, arrays, strings with simple escapes,
+/// numbers, booleans, null). Sufficient for the documents this crate
+/// emits; not a general-purpose parser.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(c as char);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+/// Validate a `BENCH_wallclock.json` document: schema marker, the three
+/// microbench storms with both executor arms, all five apps, and every
+/// repro suite key. Returns a description of the first problem found.
+pub fn validate(doc: &str) -> Result<(), String> {
+    let v = parse_json(doc)?;
+    match v.get("schema") {
+        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v1" => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    let micro = v.get("microbench").ok_or("missing microbench")?;
+    for storm in ["spawn_storm", "sleep_storm", "channel_storm", "ping_storm"] {
+        let s = micro
+            .get(storm)
+            .ok_or_else(|| format!("missing microbench.{storm}"))?;
+        for arm in ["executor", "baseline_mutex_hashmap"] {
+            let a = s
+                .get(arm)
+                .ok_or_else(|| format!("missing microbench.{storm}.{arm}"))?;
+            for field in ["wall_s", "events", "events_per_sec"] {
+                match a.get(field) {
+                    Some(Json::Num(_)) => {}
+                    other => {
+                        return Err(format!("microbench.{storm}.{arm}.{field}: {other:?}"));
+                    }
+                }
+            }
+        }
+        if !matches!(s.get("speedup"), Some(Json::Num(_))) {
+            return Err(format!("missing microbench.{storm}.speedup"));
+        }
+    }
+    let apps = v.get("apps").ok_or("missing apps")?;
+    for app in ["scf11", "scf30", "fft", "btio", "ast"] {
+        if apps.get(app).is_none() {
+            return Err(format!("missing apps.{app}"));
+        }
+    }
+    let repro = v.get("repro").ok_or("missing repro")?;
+    for id in experiments::IDS {
+        let e = repro.get(id).ok_or_else(|| format!("missing repro.{id}"))?;
+        if !matches!(e.get("wall_s"), Some(Json::Num(_))) {
+            return Err(format!("missing repro.{id}.wall_s"));
+        }
+    }
+    if !matches!(v.get("total_wall_s"), Some(Json::Num(_))) {
+        return Err("missing total_wall_s".into());
+    }
+    Ok(())
+}
+
+/// Human-readable summary printed after a run.
+pub fn render_summary(r: &WallclockReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wall-clock suite ({} mode, repro scale {}):",
+        if r.smoke { "smoke" } else { "full" },
+        r.scale
+    );
+    for (name, p) in [
+        ("spawn storm", &r.spawn),
+        ("sleep storm", &r.sleep),
+        ("channel storm", &r.chan),
+        ("ping storm", &r.ping),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {name:>14}: {:>10.0} ev/s vs baseline {:>10.0} ev/s  -> {:.2}x",
+            p.current.events_per_sec(),
+            p.baseline.events_per_sec(),
+            p.speedup(),
+        );
+    }
+    for a in &r.apps {
+        let _ = writeln!(
+            out,
+            "  app {:>10}: {:>8.1} ms host, {:>7} polls, {:>10.0} ev/s",
+            a.name,
+            a.wall.as_secs_f64() * 1e3,
+            a.sim_events,
+            a.events_per_sec,
+        );
+    }
+    let repro_total: f64 = r.repro.iter().map(|t| t.wall.as_secs_f64()).sum();
+    let holds = r.repro.iter().filter(|t| t.shape_holds).count();
+    let _ = writeln!(
+        out,
+        "  repro suite: {:.1} s host over {} experiments ({} shapes hold)",
+        repro_total,
+        r.repro.len(),
+        holds,
+    );
+    let _ = writeln!(out, "  total: {:.1} s", r.total_wall.as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StormConfig {
+        StormConfig {
+            spawn_rounds: 2,
+            spawn_batch: 8,
+            sleep_tasks: 8,
+            sleep_iters: 3,
+            chan_pairs: 4,
+            chan_msgs: 20,
+            ping_pairs: 2,
+            ping_rounds: 8,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn storms_run_on_both_executors() {
+        let cfg = tiny();
+        assert!(spawn_storm_current(&cfg).events >= 16);
+        assert!(spawn_storm_baseline(&cfg).events >= 16);
+        assert!(sleep_storm_current(&cfg).events >= 24);
+        assert!(sleep_storm_baseline(&cfg).events >= 24);
+        assert!(channel_storm_current(&cfg).events > 0);
+        assert!(channel_storm_baseline(&cfg).events > 0);
+        assert!(ping_storm_current(&cfg).events > 0);
+        assert!(ping_storm_baseline(&cfg).events > 0);
+    }
+
+    #[test]
+    fn storm_virtual_outcomes_match_across_executors() {
+        // Identical virtual-time workloads on both executors: same sleep
+        // ladder must end at the same virtual instant (the baseline is a
+        // faithful replica, not a different model).
+        let cfg = tiny();
+        let mut cur = Sim::new();
+        for i in 0..cfg.sleep_tasks {
+            let h = cur.handle();
+            let iters = cfg.sleep_iters;
+            cur.spawn(async move {
+                for _ in 0..iters {
+                    h.sleep(SimDuration::from_micros((i % 7 + 1) as u64)).await;
+                }
+            });
+        }
+        let end_cur = cur.run();
+        let mut base = BaselineSim::new();
+        for i in 0..cfg.sleep_tasks {
+            let h = base.handle();
+            let iters = cfg.sleep_iters;
+            base.spawn(async move {
+                for _ in 0..iters {
+                    h.sleep(SimDuration::from_micros((i % 7 + 1) as u64)).await;
+                }
+            });
+        }
+        assert_eq!(base.run(), end_cur);
+    }
+
+    #[test]
+    fn json_roundtrip_and_validation() {
+        let report = run_suite(true, 0.02);
+        let doc = emit_json(&report);
+        validate(&doc).expect("emitted document validates");
+        // Spot-check the parser end-to-end.
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("smoke"), Some(&Json::Bool(true)));
+        assert!(matches!(
+            v.get("microbench").and_then(|m| m.get("spawn_storm")),
+            Some(Json::Obj(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_missing_keys() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"schema\": \"iosim-bench-wallclock-v1\"}").is_err());
+        assert!(parse_json("{bad").is_err());
+    }
+
+    #[test]
+    fn parser_handles_basics() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(
+            parse_json(" [1, 2.5, -3e2] ").unwrap(),
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        let obj = parse_json("{\"a\": {\"b\": [true, false]}}").unwrap();
+        assert_eq!(
+            obj.get("a").and_then(|a| a.get("b")),
+            Some(&Json::Arr(vec![Json::Bool(true), Json::Bool(false)]))
+        );
+    }
+}

@@ -114,7 +114,12 @@ impl<T> Future for Recv<'_, T> {
         } else if inner.senders == 0 {
             Poll::Ready(None)
         } else {
-            inner.recv_waker = Some(cx.waker().clone());
+            // Skip the clone when the same task re-polls (cached wakers
+            // make `will_wake` an exact identity test).
+            match &inner.recv_waker {
+                Some(w) if w.will_wake(cx.waker()) => {}
+                _ => inner.recv_waker = Some(cx.waker().clone()),
+            }
             Poll::Pending
         }
     }

@@ -247,6 +247,12 @@ fn print_result(r: &RunResult) {
         r.io_ops
     );
     println!("I/O bandwidth  : {:.2} MB/s", r.bandwidth_mb_s());
+    println!(
+        "scheduler      : {} polls in {:.1} ms host ({:.0} events/s)",
+        r.sim_events,
+        r.host_elapsed.as_secs_f64() * 1e3,
+        r.events_per_sec()
+    );
     if !r.cache.is_empty() {
         println!("{}", r.cache.render_line());
     }

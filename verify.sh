@@ -22,4 +22,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 echo "== workspace tests =="
 cargo test -q --offline --workspace
 
+echo "== bench wallclock smoke =="
+# Gate is "runs without panicking and emits a well-formed document" —
+# wall-clock timings are machine-dependent and never fail the build.
+# The smoke run writes under target/ so the committed trajectory file
+# (BENCH_wallclock.json) is left untouched; both are layout-checked.
+cargo run --release --offline -p iosim-bench --bin bench -- \
+  wallclock --smoke --out target/BENCH_wallclock.smoke.json
+cargo run --release --offline -p iosim-bench --bin bench -- \
+  check target/BENCH_wallclock.smoke.json
+cargo run --release --offline -p iosim-bench --bin bench -- \
+  check BENCH_wallclock.json
+
 echo "verify.sh: all checks passed"
