@@ -25,6 +25,7 @@
 
 use std::rc::Rc;
 
+use iosim_buf::BytesList;
 use iosim_core::two_phase::{write_collective, Piece};
 use iosim_machine::{presets, Interface, MachineConfig};
 use iosim_pfs::{CreateOptions, IoRequest};
@@ -132,10 +133,12 @@ pub fn run(cfg: &AstConfig) -> RunResult {
     })
 }
 
-/// Run AST and capture the final shared file (stored mode).
-pub fn run_capture(cfg: &AstConfig) -> (RunResult, Vec<u8>) {
+/// Run AST and capture the final shared file (stored mode). The capture
+/// is a rope of shared extent views — reading it back copies nothing.
+pub fn run_capture(cfg: &AstConfig) -> (RunResult, BytesList) {
     assert!(cfg.stored, "capture needs stored files");
-    let captured: Rc<std::cell::RefCell<Vec<u8>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let captured: Rc<std::cell::RefCell<BytesList>> =
+        Rc::new(std::cell::RefCell::new(BytesList::new()));
     let cap2 = Rc::clone(&captured);
     let cfg2 = cfg.clone();
     let res = run_ranks(cfg.machine(), cfg.procs, move |ctx| {
@@ -151,7 +154,7 @@ pub fn run_capture(cfg: &AstConfig) -> (RunResult, Vec<u8>) {
                     .open(0, Interface::UnixStyle, "ast.dump", None)
                     .await
                     .expect("reopen dump file");
-                *cap.borrow_mut() = fh.read_at(0, total).await.expect("read dump file");
+                *cap.borrow_mut() = fh.read_rope_at(0, total).await.expect("read dump file");
             }
         })
     });
@@ -228,7 +231,7 @@ async fn rank_program(ctx: AppCtx, cfg: AstConfig) {
                     let off = base + (c * g + r0) * 8;
                     fh.seek(off).await;
                     match fragment(&cfg, a, r0, r1, c, dump) {
-                        Some(bytes) => fh.write(&bytes).await.expect("write fragment"),
+                        Some(bytes) => fh.write(bytes).await.expect("write fragment"),
                         None => fh
                             .write_discard((r1 - r0) * 8)
                             .await
@@ -323,9 +326,10 @@ mod tests {
         assert_eq!(fu.len(), fo.len());
         assert_eq!(fu, fo, "collective dump must write the same bytes");
         // Spot-check one value.
+        let flat = fu.flatten();
         let g = 64u64;
         let off = ((5 * g + 3) * 8) as usize; // array 0, dump 0, col 5, row 3
-        let v = f64::from_le_bytes(fu[off..off + 8].try_into().unwrap());
+        let v = f64::from_le_bytes(flat[off..off + 8].try_into().unwrap());
         assert_eq!(v, cell_value(0, 3, 5, 0));
     }
 

@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use iosim_buf::BytesList;
 use iosim_core::two_phase::{write_collective, Piece};
 use iosim_machine::{presets, Interface, MachineConfig};
 use iosim_pfs::{CreateOptions, IoRequest};
@@ -181,9 +182,9 @@ pub fn run(cfg: &BtioConfig) -> RunResult {
 /// Run BTIO and capture the final file contents (stored mode, for
 /// functional verification that optimized and unoptimized runs produce
 /// identical files).
-pub fn run_capture(cfg: &BtioConfig) -> (RunResult, Vec<u8>) {
+pub fn run_capture(cfg: &BtioConfig) -> (RunResult, BytesList) {
     assert!(cfg.stored, "capture needs stored files");
-    let captured: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let captured: Rc<RefCell<BytesList>> = Rc::new(RefCell::new(BytesList::new()));
     let cap2 = Rc::clone(&captured);
     let cfg2 = cfg.clone();
     let res = run_ranks(cfg.machine(), cfg.procs, move |ctx| {
@@ -199,7 +200,7 @@ pub fn run_capture(cfg: &BtioConfig) -> (RunResult, Vec<u8>) {
                     .open(0, Interface::UnixStyle, "btio.solution", None)
                     .await
                     .expect("reopen solution");
-                let data = fh.read_at(0, total).await.expect("read solution");
+                let data = fh.read_rope_at(0, total).await.expect("read solution");
                 *cap.borrow_mut() = data;
             }
         })
@@ -381,7 +382,7 @@ async fn dump_direct(
                 let off = base + run_offset(n, x0, y, z);
                 fh.seek(off).await;
                 match run_bytes_payload(cfg, x0, xl, y, z, dump) {
-                    Some(bytes) => fh.write(&bytes).await.expect("write run"),
+                    Some(bytes) => fh.write(bytes).await.expect("write run"),
                     None => fh.write_discard(xl * CELL).await.expect("write run"),
                 }
             }

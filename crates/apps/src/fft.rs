@@ -26,6 +26,7 @@
 
 use std::rc::Rc;
 
+use iosim_buf::Bytes;
 use iosim_core::ooc::{FileLayout, OocArray};
 use iosim_machine::{presets, Interface, MachineConfig};
 
@@ -185,7 +186,7 @@ async fn rank_program(ctx: AppCtx, cfg: FftConfig) {
                 buf.extend_from_slice(&im.to_le_bytes());
             }
         }
-        a.write_block_raw(0, c_lo, n, own, &buf)
+        a.write_block_raw(0, c_lo, n, own, buf)
             .await
             .expect("fill A");
     }
@@ -240,7 +241,7 @@ async fn fft_pass_columns(
             let raw = arr.read_block_raw(0, c, n, w).await.expect("read panel");
             let out = fft_block_columns(&raw, n, w);
             ctx.machine.compute(dsp::fft_flops(n) * w as f64).await;
-            arr.write_block_raw(0, c, n, w, &out)
+            arr.write_block_raw(0, c, n, w, out)
                 .await
                 .expect("write panel");
         } else {
@@ -274,7 +275,7 @@ async fn fft_pass_rows(
             let raw = arr.read_block_raw(r, 0, h, n).await.expect("read panel");
             let out = fft_block_rows(&raw, h, n);
             ctx.machine.compute(dsp::fft_flops(n) * h as f64).await;
-            arr.write_block_raw(r, 0, h, n, &out)
+            arr.write_block_raw(r, 0, h, n, out)
                 .await
                 .expect("write panel");
         } else {
@@ -308,7 +309,7 @@ async fn transpose_optimized(
             let raw = a.read_block_raw(0, c, n, w).await.expect("read A panel");
             let t = transpose_raw(&raw, n, w);
             charge_copy(ctx, n * w * CPX).await;
-            b.write_block_raw(c, 0, w, n, &t)
+            b.write_block_raw(c, 0, w, n, t)
                 .await
                 .expect("write B panel");
         } else {
@@ -351,7 +352,7 @@ async fn transpose_unoptimized(
                 let raw = a.read_block_raw(r, c, tr, tw).await.expect("read A tile");
                 let t = transpose_raw(&raw, tr, tw);
                 charge_copy(ctx, tr * tw * CPX).await;
-                b.write_block_raw(c, r, tw, tr, &t)
+                b.write_block_raw(c, r, tw, tr, t)
                     .await
                     .expect("write B tile");
             } else {
@@ -425,10 +426,10 @@ fn fft_block_rows(raw: &[u8], h: u64, n: u64) -> Vec<u8> {
 
 /// Run the FFT and read back the full final `B` contents (stored mode;
 /// for functional tests). Returns `(result, B as a row-major n×n complex
-/// byte buffer)`.
-pub fn run_capture(cfg: &FftConfig) -> (RunResult, Vec<u8>) {
+/// byte buffer)` — a shared view of the stored extents, copied nowhere.
+pub fn run_capture(cfg: &FftConfig) -> (RunResult, Bytes) {
     assert!(cfg.stored, "capture needs stored arrays");
-    let captured: Rc<std::cell::RefCell<Vec<u8>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let captured: Rc<std::cell::RefCell<Bytes>> = Rc::new(std::cell::RefCell::new(Bytes::new()));
     let cap2 = Rc::clone(&captured);
     let cfg2 = cfg.clone();
     let res = run_ranks(cfg.machine(), cfg.procs, move |ctx| {
@@ -447,7 +448,7 @@ async fn rank_program_capture(
     ctx: AppCtx,
     cfg: FftConfig,
     rank: usize,
-    cap: Rc<std::cell::RefCell<Vec<u8>>>,
+    cap: Rc<std::cell::RefCell<Bytes>>,
 ) {
     // Re-run the regular program; rank 0 then reads the final B.
     let n = cfg.n;

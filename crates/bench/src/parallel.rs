@@ -3,9 +3,19 @@
 //! Every simulation is single-threaded and independent, so sweeps over
 //! machine configurations parallelize across host threads with
 //! `std::thread::scope`. Results come back in input order.
+//!
+//! Work distribution is dynamic: workers claim the next unclaimed item
+//! through a shared atomic cursor instead of taking a fixed contiguous
+//! chunk. Sweep entries are wildly skewed (a full-scale BTIO run costs
+//! orders of magnitude more host time than a small SCF one), and static
+//! chunking would leave all but one worker idle while the unlucky one
+//! grinds through the expensive tail.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Map `f` over `items` using up to `max_threads` host threads, returning
-/// results in input order.
+/// results in input order. Items are claimed dynamically (one shared
+/// atomic cursor), so skewed per-item costs still load-balance.
 pub fn map_parallel<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -20,16 +30,28 @@ where
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
+    let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (item_chunk, slot_chunk) in items
-            .chunks(n.div_ceil(threads))
-            .zip(slots.chunks_mut(n.div_ceil(threads)))
-        {
+        // Hand each worker a raw view of the slot table; workers write
+        // disjoint slots (each index is claimed exactly once).
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        for _ in 0..threads {
             let f = &f;
+            let next = &next;
+            let items = &items;
             scope.spawn(move || {
-                for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = Some(f(item));
+                let slots_ptr = slots_ptr;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    // SAFETY: `i` came from a unique fetch_add claim, so
+                    // no other worker writes slot `i`; the scope joins
+                    // all workers before `slots` is read or dropped.
+                    unsafe { *slots_ptr.0.add(i) = Some(r) };
                 }
             });
         }
@@ -39,6 +61,18 @@ where
         .map(|s| s.expect("every slot filled"))
         .collect()
 }
+
+/// A pointer wrapper that may cross thread boundaries; safety is
+/// guaranteed by the disjoint-index discipline in [`map_parallel`].
+struct SendPtr<R>(*mut Option<R>);
+impl<R> Clone for SendPtr<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SendPtr<R> {}
+unsafe impl<R: Send> Send for SendPtr<R> {}
+unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 /// A sensible default thread count for sweeps.
 pub fn default_threads() -> usize {
@@ -50,6 +84,8 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn preserves_order() {
@@ -75,5 +111,47 @@ mod tests {
     fn more_threads_than_items() {
         let out = map_parallel(vec![5], 16, |&x| x);
         assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn every_item_claimed_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..101).map(|_| AtomicU64::new(0)).collect();
+        let out = map_parallel((0..101usize).collect(), 7, |&i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i * 3
+        });
+        assert_eq!(out, (0..101).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// One item is ~an order of magnitude slower than the rest combined.
+    /// Static front-half/back-half chunking would serialize: the worker
+    /// that drew the slow item's chunk also owns every item after it.
+    /// Dynamic claiming lets the other workers drain the cheap tail
+    /// concurrently, so the sweep finishes in about the slow item's time.
+    #[test]
+    fn skewed_items_load_balance() {
+        const SLOW: Duration = Duration::from_millis(120);
+        const FAST: Duration = Duration::from_millis(10);
+        // Slow item first: under the old chunking, worker 0 got items
+        // 0..8 and finished at SLOW + 7 * FAST.
+        let durations: Vec<Duration> = std::iter::once(SLOW)
+            .chain(std::iter::repeat_n(FAST, 15))
+            .collect();
+        let t0 = Instant::now();
+        let out = map_parallel(durations.clone(), 2, |&d| {
+            std::thread::sleep(d);
+            d
+        });
+        let elapsed = t0.elapsed();
+        assert_eq!(out, durations);
+        // Two workers, dynamic: one takes the slow item, the other
+        // drains all 15 fast ones (150 ms); finish ≈ max(120, 150) ms.
+        // Static halves would cost 120 + 7*10 = 190 ms on worker 0.
+        // Generous margin for slow CI hosts.
+        assert!(
+            elapsed < SLOW + 4 * FAST,
+            "skewed sweep did not load-balance: {elapsed:?}"
+        );
     }
 }

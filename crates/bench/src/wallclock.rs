@@ -16,12 +16,14 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use iosim_buf::tally;
 use iosim_simkit::executor::Sim;
 use iosim_simkit::sync::channel;
 use iosim_simkit::time::SimDuration;
 
 use crate::baseline::BaselineSim;
 use crate::experiments;
+use crate::parallel::{default_threads, map_parallel};
 
 /// One timed executor workload.
 #[derive(Clone, Copy, Debug)]
@@ -413,6 +415,32 @@ pub struct ReproTiming {
     pub shape_holds: bool,
 }
 
+/// Data-plane accounting of one stored-mode application run: what the
+/// `iosim_buf::tally` counters saw between reset and snapshot.
+#[derive(Clone, Debug)]
+pub struct DataPlaneTiming {
+    pub name: &'static str,
+    pub wall: Duration,
+    /// Host bytes allocated into counted buffers during the run.
+    pub bytes_allocated: u64,
+    /// Host bytes memcpy'd between counted buffers during the run.
+    pub bytes_copied: u64,
+    /// Counted buffers allocated.
+    pub buffers_allocated: u64,
+    /// `bytes_copied` of the identical configuration on the pre-rewrite
+    /// data plane (flat `Vec<u8>` payloads; recorded at commit 4962e8e).
+    pub baseline_bytes_copied: u64,
+}
+
+impl DataPlaneTiming {
+    /// Copy-traffic reduction vs the pre-rewrite data plane
+    /// (baseline/current; a run that no longer copies at all reports
+    /// the baseline count itself, i.e. "N bytes down to zero").
+    pub fn copy_reduction(&self) -> f64 {
+        self.baseline_bytes_copied as f64 / self.bytes_copied.max(1) as f64
+    }
+}
+
 /// The full wall-clock report.
 #[derive(Clone, Debug)]
 pub struct WallclockReport {
@@ -423,94 +451,159 @@ pub struct WallclockReport {
     pub chan: StormPair,
     pub ping: StormPair,
     pub apps: Vec<AppTiming>,
+    pub data_plane: Vec<DataPlaneTiming>,
     pub repro: Vec<ReproTiming>,
     pub total_wall: Duration,
 }
 
-/// Time the five applications at fixed small configurations, reporting
-/// scheduler throughput (`Sim::events_processed` over host time) through
-/// `RunResult::events_per_sec`.
-pub fn time_apps(scale: f64) -> Vec<AppTiming> {
-    use iosim_apps::{ast, btio, fft, scf11, scf30, RunResult};
-    type AppRunner = Box<dyn Fn() -> RunResult>;
-    let apps: Vec<(&'static str, AppRunner)> = vec![
-        (
-            "scf11",
-            Box::new(move || {
-                scf11::run(&scf11::Scf11Config {
-                    scale,
-                    ..scf11::Scf11Config::new(
-                        scf11::ScfInput::Small,
-                        scf11::Scf11Version::PassionPrefetch,
-                    )
-                })
-                .run
-            }),
-        ),
-        (
-            "scf30",
-            Box::new(move || {
-                scf30::run(&scf30::Scf30Config {
-                    scale,
-                    ..scf30::Scf30Config::new(scf11::ScfInput::Small, 8, 75)
-                })
-                .run
-            }),
-        ),
-        (
-            "fft",
-            Box::new(|| fft::run(&fft::FftConfig::new(128, 4, true))),
-        ),
-        (
-            "btio",
-            Box::new(|| {
-                btio::run(&btio::BtioConfig {
-                    dumps: 2,
-                    ..btio::BtioConfig::new(btio::BtClass::Custom(16), 9, false)
-                })
-            }),
-        ),
-        (
-            "ast",
-            Box::new(|| {
-                ast::run(&ast::AstConfig {
-                    grid: 64,
-                    arrays: 2,
-                    dumps: 2,
-                    ..ast::AstConfig::new(4, 16, true)
-                })
-            }),
-        ),
-    ];
-    apps.into_iter()
-        .map(|(name, f)| {
-            let t0 = Instant::now();
-            let r = f();
-            AppTiming {
-                name,
-                wall: t0.elapsed(),
-                sim_events: r.sim_events,
-                events_per_sec: r.events_per_sec(),
-                virtual_exec_s: r.exec_time.as_secs_f64(),
-            }
-        })
-        .collect()
+/// The five timed applications, in report order.
+const APP_NAMES: [&str; 5] = ["scf11", "scf30", "fft", "btio", "ast"];
+
+fn run_app_by_name(name: &str, scale: f64) -> iosim_apps::RunResult {
+    use iosim_apps::{ast, btio, fft, scf11, scf30};
+    match name {
+        "scf11" => {
+            scf11::run(&scf11::Scf11Config {
+                scale,
+                ..scf11::Scf11Config::new(
+                    scf11::ScfInput::Small,
+                    scf11::Scf11Version::PassionPrefetch,
+                )
+            })
+            .run
+        }
+        "scf30" => {
+            scf30::run(&scf30::Scf30Config {
+                scale,
+                ..scf30::Scf30Config::new(scf11::ScfInput::Small, 8, 75)
+            })
+            .run
+        }
+        "fft" => fft::run(&fft::FftConfig::new(128, 4, true)),
+        "btio" => btio::run(&btio::BtioConfig {
+            dumps: 2,
+            ..btio::BtioConfig::new(btio::BtClass::Custom(16), 9, false)
+        }),
+        "ast" => ast::run(&ast::AstConfig {
+            grid: 64,
+            arrays: 2,
+            dumps: 2,
+            ..ast::AstConfig::new(4, 16, true)
+        }),
+        other => panic!("unknown app {other}"),
+    }
 }
 
-/// Time every experiment of the repro suite at `scale`.
-pub fn time_repro(scale: f64) -> Vec<ReproTiming> {
-    experiments::IDS
-        .iter()
-        .map(|id| {
+/// Time the five applications at fixed small configurations, reporting
+/// scheduler throughput (`Sim::events_processed` over host time) through
+/// `RunResult::events_per_sec`. The runs are independent simulations, so
+/// they spread over host threads; each entry's wall time is its own.
+pub fn time_apps(scale: f64) -> Vec<AppTiming> {
+    map_parallel(APP_NAMES.to_vec(), default_threads(), |&name| {
+        let t0 = Instant::now();
+        let r = run_app_by_name(name, scale);
+        AppTiming {
+            name,
+            wall: t0.elapsed(),
+            sim_events: r.sim_events,
+            events_per_sec: r.events_per_sec(),
+            virtual_exec_s: r.exec_time.as_secs_f64(),
+        }
+    })
+}
+
+/// Pre-rewrite `bytes_copied` of the data-plane configurations below
+/// (flat `Vec<u8>` payloads and per-file byte vectors, commit 4962e8e).
+/// `tests/dataplane_equivalence.rs` pins the same constants.
+const DATA_PLANE_BASELINE_COPIED: [(&str, u64); 5] = [
+    ("scf11", 0),
+    ("scf30", 448),
+    ("fft", 4194304),
+    ("btio", 655360),
+    ("ast", 1053952),
+];
+
+/// Run the five applications in stored mode (real bytes through the
+/// whole stack) and report the `iosim_buf::tally` counters per run: how
+/// many host bytes the data plane allocated and memcpy'd. The counters
+/// are thread-local, so each parallel worker resets and snapshots its
+/// own tally around each run.
+pub fn time_data_plane() -> Vec<DataPlaneTiming> {
+    use iosim_apps::{ast, btio, fft, scf11, scf30};
+    map_parallel(
+        DATA_PLANE_BASELINE_COPIED.to_vec(),
+        default_threads(),
+        |&(name, baseline_bytes_copied)| {
+            tally::reset();
             let t0 = Instant::now();
-            let report = experiments::by_id(id, scale).expect("known id");
-            ReproTiming {
-                id,
-                wall: t0.elapsed(),
-                shape_holds: report.shape_holds(),
+            match name {
+                "scf11" => {
+                    scf11::run(&scf11::Scf11Config {
+                        scale: 0.02,
+                        ..scf11::Scf11Config::new(
+                            scf11::ScfInput::Small,
+                            scf11::Scf11Version::PassionPrefetch,
+                        )
+                    });
+                }
+                "scf30" => {
+                    scf30::run(&scf30::Scf30Config {
+                        scale: 0.02,
+                        ..scf30::Scf30Config::new(scf11::ScfInput::Small, 8, 75)
+                    });
+                }
+                "fft" => {
+                    fft::run_capture(&fft::FftConfig {
+                        stored: true,
+                        ..fft::FftConfig::new(128, 4, true)
+                    });
+                }
+                "btio" => {
+                    btio::run_capture(&btio::BtioConfig {
+                        dumps: 2,
+                        stored: true,
+                        ..btio::BtioConfig::new(btio::BtClass::Custom(16), 9, false)
+                    });
+                }
+                "ast" => {
+                    ast::run_capture(&ast::AstConfig {
+                        grid: 64,
+                        arrays: 2,
+                        dumps: 2,
+                        stored: true,
+                        ..ast::AstConfig::new(4, 16, true)
+                    });
+                }
+                other => panic!("unknown app {other}"),
             }
-        })
-        .collect()
+            let wall = t0.elapsed();
+            let t = tally::snapshot();
+            DataPlaneTiming {
+                name,
+                wall,
+                bytes_allocated: t.bytes_allocated,
+                bytes_copied: t.bytes_copied,
+                buffers_allocated: t.buffers_allocated,
+                baseline_bytes_copied,
+            }
+        },
+    )
+}
+
+/// Time every experiment of the repro suite at `scale`. The experiments
+/// are independent single-threaded simulations, so they spread over host
+/// threads; each entry's wall time is still its own (measured inside the
+/// worker), and results come back in suite order.
+pub fn time_repro(scale: f64) -> Vec<ReproTiming> {
+    map_parallel(experiments::IDS.to_vec(), default_threads(), |&id| {
+        let t0 = Instant::now();
+        let report = experiments::by_id(id, scale).expect("known id");
+        ReproTiming {
+            id,
+            wall: t0.elapsed(),
+            shape_holds: report.shape_holds(),
+        }
+    })
 }
 
 /// Run the whole wall-clock suite.
@@ -547,6 +640,8 @@ pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
     );
     eprintln!("[wallclock] apps");
     let apps = time_apps(if smoke { 0.02 } else { 0.1 });
+    eprintln!("[wallclock] data plane (stored-mode byte accounting)");
+    let data_plane = time_data_plane();
     eprintln!("[wallclock] repro suite at scale {scale}");
     let repro = time_repro(scale);
     WallclockReport {
@@ -557,6 +652,7 @@ pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
         chan,
         ping,
         apps,
+        data_plane,
         repro,
         total_wall: t0.elapsed(),
     }
@@ -580,7 +676,7 @@ fn write_storm(out: &mut String, name: &str, pair: &StormPair) {
 pub fn emit_json(r: &WallclockReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v1\",");
+    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v2\",");
     let _ = writeln!(out, "  \"smoke\": {},", r.smoke);
     let _ = writeln!(out, "  \"scale\": {},", r.scale);
     out.push_str("  \"microbench\": {\n");
@@ -603,6 +699,22 @@ pub fn emit_json(r: &WallclockReport) -> String {
             a.events_per_sec,
             a.virtual_exec_s,
             if k + 1 < r.apps.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"data_plane\": {\n");
+    for (k, d) in r.data_plane.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"wall_s\": {:.6}, \"bytes_allocated\": {}, \"bytes_copied\": {}, \"buffers_allocated\": {}, \"baseline_bytes_copied\": {}, \"copy_reduction\": {:.3}}}{}",
+            d.name,
+            d.wall.as_secs_f64(),
+            d.bytes_allocated,
+            d.bytes_copied,
+            d.buffers_allocated,
+            d.baseline_bytes_copied,
+            d.copy_reduction(),
+            if k + 1 < r.data_plane.len() { "," } else { "" },
         );
     }
     out.push_str("  },\n");
@@ -790,13 +902,36 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validate a `BENCH_wallclock.json` document: schema marker, the three
-/// microbench storms with both executor arms, all five apps, and every
-/// repro suite key. Returns a description of the first problem found.
+/// Check that a field is a sane wall time: a finite, non-negative
+/// number (the emitter writes `NaN` verbatim on arithmetic bugs, which
+/// the parser rejects — but a hand-edited or corrupted file can still
+/// smuggle in negatives or infinities).
+fn check_wall(v: Option<&Json>, what: &str) -> Result<f64, String> {
+    match v {
+        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => Ok(*n),
+        Some(Json::Num(n)) => Err(format!("{what}: bad wall time {n}")),
+        other => Err(format!("{what}: {other:?}")),
+    }
+}
+
+fn check_count(v: Option<&Json>, what: &str) -> Result<f64, String> {
+    match v {
+        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 => Ok(*n),
+        other => Err(format!(
+            "{what}: expected a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+/// Validate a `BENCH_wallclock.json` document: schema marker, the four
+/// microbench storms with both executor arms, all five apps, the
+/// data-plane byte accounting (counters present and non-trivial), and
+/// every repro suite key. All wall times must be finite and
+/// non-negative. Returns a description of the first problem found.
 pub fn validate(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
     match v.get("schema") {
-        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v1" => {}
+        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v2" => {}
         other => return Err(format!("bad schema field: {other:?}")),
     }
     let micro = v.get("microbench").ok_or("missing microbench")?;
@@ -808,7 +943,8 @@ pub fn validate(doc: &str) -> Result<(), String> {
             let a = s
                 .get(arm)
                 .ok_or_else(|| format!("missing microbench.{storm}.{arm}"))?;
-            for field in ["wall_s", "events", "events_per_sec"] {
+            check_wall(a.get("wall_s"), &format!("microbench.{storm}.{arm}.wall_s"))?;
+            for field in ["events", "events_per_sec"] {
                 match a.get(field) {
                     Some(Json::Num(_)) => {}
                     other => {
@@ -822,21 +958,37 @@ pub fn validate(doc: &str) -> Result<(), String> {
         }
     }
     let apps = v.get("apps").ok_or("missing apps")?;
-    for app in ["scf11", "scf30", "fft", "btio", "ast"] {
-        if apps.get(app).is_none() {
-            return Err(format!("missing apps.{app}"));
+    for app in APP_NAMES {
+        let a = apps.get(app).ok_or_else(|| format!("missing apps.{app}"))?;
+        check_wall(a.get("wall_s"), &format!("apps.{app}.wall_s"))?;
+    }
+    let dp = v.get("data_plane").ok_or("missing data_plane")?;
+    let mut total_alloc = 0.0f64;
+    for app in APP_NAMES {
+        let a = dp
+            .get(app)
+            .ok_or_else(|| format!("missing data_plane.{app}"))?;
+        check_wall(a.get("wall_s"), &format!("data_plane.{app}.wall_s"))?;
+        total_alloc += check_count(
+            a.get("bytes_allocated"),
+            &format!("data_plane.{app}.bytes_allocated"),
+        )?;
+        for field in ["bytes_copied", "buffers_allocated", "baseline_bytes_copied"] {
+            check_count(a.get(field), &format!("data_plane.{app}.{field}"))?;
         }
+        if !matches!(a.get("copy_reduction"), Some(Json::Num(n)) if n.is_finite() && *n >= 0.0) {
+            return Err(format!("data_plane.{app}.copy_reduction: bad or missing"));
+        }
+    }
+    if total_alloc == 0.0 {
+        return Err("data_plane: all byte counters are zero (tally not wired?)".into());
     }
     let repro = v.get("repro").ok_or("missing repro")?;
     for id in experiments::IDS {
         let e = repro.get(id).ok_or_else(|| format!("missing repro.{id}"))?;
-        if !matches!(e.get("wall_s"), Some(Json::Num(_))) {
-            return Err(format!("missing repro.{id}.wall_s"));
-        }
+        check_wall(e.get("wall_s"), &format!("repro.{id}.wall_s"))?;
     }
-    if !matches!(v.get("total_wall_s"), Some(Json::Num(_))) {
-        return Err("missing total_wall_s".into());
-    }
+    check_wall(v.get("total_wall_s"), "total_wall_s")?;
     Ok(())
 }
 
@@ -871,6 +1023,17 @@ pub fn render_summary(r: &WallclockReport) -> String {
             a.wall.as_secs_f64() * 1e3,
             a.sim_events,
             a.events_per_sec,
+        );
+    }
+    for d in &r.data_plane {
+        let _ = writeln!(
+            out,
+            "  data plane {:>7}: {:>9} B alloc, {:>9} B copied (was {:>9} B -> {:.1}x less)",
+            d.name,
+            d.bytes_allocated,
+            d.bytes_copied,
+            d.baseline_bytes_copied,
+            d.copy_reduction(),
         );
     }
     let repro_total: f64 = r.repro.iter().map(|t| t.wall.as_secs_f64()).sum();
@@ -965,7 +1128,47 @@ mod tests {
     fn validate_rejects_missing_keys() {
         assert!(validate("{}").is_err());
         assert!(validate("{\"schema\": \"iosim-bench-wallclock-v1\"}").is_err());
+        assert!(validate("{\"schema\": \"iosim-bench-wallclock-v2\"}").is_err());
         assert!(parse_json("{bad").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_wall_times_and_empty_data_plane() {
+        let report = run_suite(true, 0.02);
+        let doc = emit_json(&report);
+        // Negative wall time anywhere must fail.
+        let negated = doc.replacen("\"total_wall_s\": ", "\"total_wall_s\": -", 1);
+        assert!(validate(&negated).unwrap_err().contains("total_wall_s"));
+        // A data plane whose counters are all zero means the tally isn't
+        // wired through the stack — the smoke gate must catch that.
+        let mut zeroed = doc.clone();
+        for d in &report.data_plane {
+            zeroed = zeroed.replace(
+                &format!("\"bytes_allocated\": {}", d.bytes_allocated),
+                "\"bytes_allocated\": 0",
+            );
+        }
+        assert!(validate(&zeroed).unwrap_err().contains("data_plane"));
+    }
+
+    #[test]
+    fn data_plane_counters_show_the_rewrite() {
+        let dp = time_data_plane();
+        assert_eq!(dp.len(), 5);
+        let by_name = |n: &str| dp.iter().find(|d| d.name == n).expect("app present");
+        // FFT and BTIO move real payloads; the shared-buffer data plane
+        // must at least halve their memcpy traffic vs the recorded
+        // pre-rewrite baselines.
+        for app in ["fft", "btio"] {
+            let d = by_name(app);
+            assert!(
+                d.bytes_copied * 2 <= d.baseline_bytes_copied,
+                "{app}: copied {} vs baseline {}",
+                d.bytes_copied,
+                d.baseline_bytes_copied
+            );
+        }
+        assert!(by_name("fft").bytes_allocated > 0);
     }
 
     #[test]

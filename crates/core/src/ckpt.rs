@@ -113,7 +113,7 @@ impl Checkpointer {
                 rec.extend_from_slice(&s.to_le_bytes());
             }
             self.meta
-                .write_at(epoch * Self::meta_record_size(p), &rec)
+                .write_at(epoch * Self::meta_record_size(p), rec)
                 .await?;
             self.meta.flush().await;
         }

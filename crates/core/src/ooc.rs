@@ -19,6 +19,7 @@
 
 use std::rc::Rc;
 
+use iosim_buf::{tally, Bytes, BytesList};
 use iosim_machine::Interface;
 use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError, IoRequest};
 
@@ -183,18 +184,36 @@ impl OocArray {
         IoRequest::from_extents(self.block_segments(r0, c0, nr, nc))
     }
 
+    /// Whether the block's corner turn is the identity permutation: the
+    /// file segments of the block concatenate in exactly local
+    /// row-major order, so no element reshuffle is needed. True for
+    /// every block of a row-major array (the segments *are* the local
+    /// rows in order) and for single-row/single-column blocks of a
+    /// column-major array.
+    fn corner_turn_is_identity(&self, nr: u64, nc: u64) -> bool {
+        match self.layout {
+            FileLayout::RowMajor => true,
+            FileLayout::ColMajor => nr == 1 || nc == 1,
+        }
+    }
+
     /// Read the block into a row-major local byte buffer (element
     /// `(r0+i, c0+j)` at byte index `(i * nc + j) * elem`). Requires a
     /// stored array. The segments travel as one vectored request.
+    /// When the corner turn is the identity the returned buffer is a
+    /// shared view of the stored extents — nothing is copied.
     pub async fn read_block_raw(
         &self,
         r0: u64,
         c0: u64,
         nr: u64,
         nc: u64,
-    ) -> Result<Vec<u8>, FsError> {
-        let mut out = vec![0u8; (nr * nc * self.elem) as usize];
+    ) -> Result<Bytes, FsError> {
         let data = self.fh.readv(&self.block_request(r0, c0, nr, nc)).await?;
+        if self.corner_turn_is_identity(nr, nc) {
+            return Ok(data);
+        }
+        let mut out = vec![0u8; (nr * nc * self.elem) as usize];
         let mut cursor = 0usize;
         for (offset, bytes) in self.block_segments(r0, c0, nr, nc) {
             self.scatter(
@@ -207,31 +226,46 @@ impl OocArray {
             );
             cursor += bytes as usize;
         }
-        Ok(out)
+        Ok(Bytes::from_vec(out))
     }
 
     /// Write a row-major local byte buffer into the block (inverse of
-    /// [`OocArray::read_block_raw`]).
+    /// [`OocArray::read_block_raw`]). Pass an owned buffer to adopt it
+    /// without copying; when the corner turn is the identity the
+    /// segments are sliced straight out of it, and otherwise each
+    /// gathered segment (a genuine reshuffle, counted in `gather`) is
+    /// adopted into the write rope directly.
     pub async fn write_block_raw(
         &self,
         r0: u64,
         c0: u64,
         nr: u64,
         nc: u64,
-        buf: &[u8],
+        buf: impl Into<Bytes>,
     ) -> Result<(), FsError> {
+        let buf = buf.into();
         assert_eq!(
             buf.len() as u64,
             nr * nc * self.elem,
             "buffer size mismatch"
         );
         let segments = self.block_segments(r0, c0, nr, nc);
-        let mut data = Vec::with_capacity(buf.len());
-        for &(offset, bytes) in &segments {
-            data.extend_from_slice(&self.gather(offset, bytes, r0, c0, nc, buf));
+        let mut data = BytesList::new();
+        if self.corner_turn_is_identity(nr, nc) {
+            let mut cursor = 0usize;
+            for &(_, bytes) in &segments {
+                data.push(buf.slice(cursor, bytes as usize));
+                cursor += bytes as usize;
+            }
+        } else {
+            for &(offset, bytes) in &segments {
+                data.push(Bytes::from_vec(
+                    self.gather(offset, bytes, r0, c0, nc, &buf),
+                ));
+            }
         }
         self.fh
-            .writev(&IoRequest::from_extents(segments), &data)
+            .writev(&IoRequest::from_extents(segments), data)
             .await?;
         Ok(())
     }
@@ -281,7 +315,7 @@ impl OocArray {
         assert_eq!(self.elem, 8, "f64 accessors need 8-byte elements");
         assert_eq!(buf.len() as u64, nr * nc, "buffer size mismatch");
         let raw: Vec<u8> = buf.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.write_block_raw(r0, c0, nr, nc, &raw).await
+        self.write_block_raw(r0, c0, nr, nc, raw).await
     }
 
     /// Write the block timing-only.
@@ -316,9 +350,11 @@ impl OocArray {
     }
 
     /// Place a contiguous file segment's bytes into the row-major block
-    /// buffer.
+    /// buffer. This corner turn is a genuine element reshuffle, so its
+    /// byte movement is counted.
     fn scatter(&self, seg_offset: u64, data: &[u8], r0: u64, c0: u64, nc: u64, out: &mut [u8]) {
         let e = self.elem as usize;
+        tally::count_copy((data.len() - data.len() % e) as u64);
         for (k, chunk) in data.chunks_exact(e).enumerate() {
             let (r, c) = self.rc_of_offset(seg_offset + (k as u64) * self.elem);
             let idx = ((r - r0) * nc + (c - c0)) as usize * e;
@@ -327,7 +363,7 @@ impl OocArray {
     }
 
     /// Collect a contiguous file segment's bytes from the row-major block
-    /// buffer.
+    /// buffer (a genuine corner-turn reshuffle; counted as a copy).
     fn gather(
         &self,
         seg_offset: u64,
@@ -338,6 +374,7 @@ impl OocArray {
         buf: &[u8],
     ) -> Vec<u8> {
         let e = self.elem as usize;
+        tally::count_copy(bytes - bytes % self.elem);
         let mut out = Vec::with_capacity(bytes as usize);
         for k in 0..bytes / self.elem {
             let (r, c) = self.rc_of_offset(seg_offset + k * self.elem);
@@ -551,7 +588,7 @@ mod tests {
                 .unwrap();
                 assert_eq!(a.elem_bytes(), 16);
                 let block: Vec<u8> = (0..2 * 3 * 16).map(|i| (i % 251) as u8).collect();
-                a.write_block_raw(1, 2, 2, 3, &block).await.unwrap();
+                a.write_block_raw(1, 2, 2, 3, block.clone()).await.unwrap();
                 let back = a.read_block_raw(1, 2, 2, 3).await.unwrap();
                 back == block
             })

@@ -9,7 +9,7 @@
 //! extent is high and no peer processes are available to exchange with.
 
 use iosim_msg::Payload;
-use iosim_pfs::{FileHandle, FsError, IoRequest};
+use iosim_pfs::{ExtentTree, FileHandle, FsError, IoRequest};
 
 use crate::two_phase::{Piece, Span};
 
@@ -73,22 +73,23 @@ pub async fn write_sieved(fh: &FileHandle, pieces: Vec<Piece>) -> Result<SieveSt
     let mut io_calls = 0u64;
     let all_real = pieces.iter().all(|p| p.payload.data.is_some());
     if all_real {
-        let mut buf = if covered || lo >= fh.size() {
-            vec![0u8; (hi - lo) as usize]
-        } else {
+        // Overlay the pieces on the background content (read back only
+        // when the pieces leave holes) in a scratch extent tree — the
+        // merge is pure view bookkeeping, no byte is copied.
+        let mut overlay = ExtentTree::new();
+        if !(covered || lo >= fh.size()) {
             // Read-modify-write: fetch the extent (clipped to EOF).
             io_calls += 1;
             let have = fh.size().min(hi) - lo;
-            let mut b = fh.readv(&IoRequest::contiguous(lo, have)).await?;
-            b.resize((hi - lo) as usize, 0);
-            b
-        };
+            let b = fh.readv(&IoRequest::contiguous(lo, have)).await?;
+            overlay.write(0, b);
+        }
         for p in &pieces {
             let d = p.payload.data.as_ref().expect("all real");
-            let s = (p.offset - lo) as usize;
-            buf[s..s + d.len()].copy_from_slice(d);
+            overlay.write_list(p.offset - lo, d);
         }
-        fh.writev(&IoRequest::contiguous(lo, hi - lo), &buf).await?;
+        let buf = overlay.read(0, hi - lo);
+        fh.writev(&IoRequest::contiguous(lo, hi - lo), buf).await?;
         io_calls += 1;
     } else {
         if !covered && lo < fh.size() {
@@ -128,11 +129,7 @@ pub async fn read_sieved(
         Ok(buf) => {
             let out = spans
                 .iter()
-                .map(|s| {
-                    Payload::bytes(
-                        buf[(s.offset - lo) as usize..(s.offset - lo + s.len) as usize].to_vec(),
-                    )
-                })
+                .map(|s| Payload::bytes(buf.slice((s.offset - lo) as usize, s.len as usize)))
                 .collect();
             Ok((out, stats))
         }
@@ -249,8 +246,7 @@ mod tests {
                 assert_eq!(trace.count(OpKind::Read), 1);
                 assert_eq!(stats.extent_bytes, 115);
                 assert_eq!(stats.useful_bytes, 30);
-                got[0].data.as_ref().unwrap()[..] == bg[5..15]
-                    && got[1].data.as_ref().unwrap()[..] == bg[100..120]
+                got[0].to_bytes()[..] == bg[5..15] && got[1].to_bytes()[..] == bg[100..120]
             })
         });
         assert!(ok);

@@ -15,6 +15,7 @@
 //! redistribution actually moves the bytes, so tests can assert that the
 //! optimized file is byte-identical to the unoptimized one.
 
+use iosim_buf::{zeros, Bytes, BytesList};
 use iosim_msg::{Comm, Payload};
 use iosim_pfs::{FileHandle, FsError, IoRequest};
 
@@ -28,8 +29,9 @@ pub struct Piece {
 }
 
 impl Piece {
-    /// A piece carrying real bytes.
-    pub fn bytes(offset: u64, data: Vec<u8>) -> Piece {
+    /// A piece carrying real bytes (accepts `Vec<u8>`, [`Bytes`], or a
+    /// prebuilt rope — owned buffers are shared, not copied).
+    pub fn bytes(offset: u64, data: impl Into<BytesList>) -> Piece {
         Piece {
             offset,
             payload: Payload::bytes(data),
@@ -161,7 +163,7 @@ fn route_piece(domain: &Domain, piece: Piece) -> Vec<(usize, Piece)> {
         let region_end = domain.owner_region(owner).end();
         let take = (end - off).min(region_end - off);
         let payload = match &piece.payload.data {
-            Some(d) => Payload::bytes(d[consumed as usize..(consumed + take) as usize].to_vec()),
+            Some(d) => Payload::bytes(d.slice(consumed, take)),
             None => Payload::synthetic(take),
         };
         out.push((
@@ -181,47 +183,53 @@ fn route_piece(domain: &Domain, piece: Piece) -> Vec<(usize, Piece)> {
 /// carried when every piece has them; otherwise the payload is synthetic
 /// with exactly the total *data* length (headers are dropped so the
 /// receiver can account volume precisely; they are small next to the
-/// data).
+/// data). Only the small header is freshly built — the data segments
+/// ride along as shared views.
 fn encode_pieces(pieces: &[Piece]) -> Payload {
     let all_real = pieces.iter().all(|p| p.payload.data.is_some());
-    let header = 8 + 16 * pieces.len() as u64;
     let data_len: u64 = pieces.iter().map(|p| p.payload.len).sum();
     if !all_real {
         return Payload::synthetic(data_len);
     }
-    let mut out = Vec::with_capacity((header + data_len) as usize);
-    out.extend_from_slice(&(pieces.len() as u64).to_le_bytes());
+    let mut header = Vec::with_capacity(8 + 16 * pieces.len());
+    header.extend_from_slice(&(pieces.len() as u64).to_le_bytes());
     for p in pieces {
-        out.extend_from_slice(&p.offset.to_le_bytes());
-        out.extend_from_slice(&p.payload.len.to_le_bytes());
+        header.extend_from_slice(&p.offset.to_le_bytes());
+        header.extend_from_slice(&p.payload.len.to_le_bytes());
     }
+    let mut out = BytesList::from(Bytes::from_vec(header));
     for p in pieces {
-        out.extend_from_slice(p.payload.data.as_ref().expect("all real"));
+        out.append(p.payload.data.clone().expect("all real"));
     }
     Payload::bytes(out)
 }
 
 /// Inverse of [`encode_pieces`] for real payloads; `None` for synthetic.
+/// The decoded pieces are views into the received rope — no copy.
 fn decode_pieces(payload: Payload) -> Option<Vec<Piece>> {
     let bytes = payload.data?;
-    let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
-    let mut metas = Vec::with_capacity(count);
-    let mut pos = 8usize;
-    for _ in 0..count {
-        let off = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
-        let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
-        metas.push((off, len));
-        pos += 16;
-    }
+    let count = u64::from_le_bytes(
+        bytes
+            .slice(0, 8)
+            .flatten()
+            .try_into()
+            .expect("8-byte count"),
+    ) as usize;
+    let header = bytes.slice(8, 16 * count as u64).flatten();
+    let mut pos = 8 + 16 * count as u64;
     let mut out = Vec::with_capacity(count);
-    for (off, len) in metas {
-        out.push(Piece::bytes(off, bytes[pos..pos + len as usize].to_vec()));
-        pos += len as usize;
+    for i in 0..count {
+        let at = i * 16;
+        let off = u64::from_le_bytes(header[at..at + 8].try_into().expect("8"));
+        let len = u64::from_le_bytes(header[at + 8..at + 16].try_into().expect("8"));
+        out.push(Piece::bytes(off, bytes.slice(pos, len)));
+        pos += len;
     }
     Some(out)
 }
 
 /// Merge sorted pieces into maximal contiguous runs (offset, len, data?).
+/// Real payloads concatenate as ropes — O(segments), no byte movement.
 fn merge_runs(mut pieces: Vec<Piece>) -> Vec<Piece> {
     pieces.sort_by_key(|p| p.offset);
     let mut out: Vec<Piece> = Vec::new();
@@ -229,8 +237,8 @@ fn merge_runs(mut pieces: Vec<Piece>) -> Vec<Piece> {
         match out.last_mut() {
             Some(last) if last.end() == p.offset => {
                 last.payload.len += p.payload.len;
-                if let (Some(buf), Some(d)) = (&mut last.payload.data, &p.payload.data) {
-                    buf.extend_from_slice(d);
+                if let (Some(buf), Some(d)) = (&mut last.payload.data, p.payload.data) {
+                    buf.append(d);
                 } else {
                     last.payload.data = None;
                 }
@@ -307,14 +315,16 @@ pub async fn write_collective(
         }
     } else {
         // One vectored write over the merged runs; in the usual case the
-        // runs tile the region and this is a single sequential call.
+        // runs tile the region and this is a single sequential call. The
+        // runs' ropes are handed to the file store as-is — the received
+        // buffers become the file's extents.
         let runs = merge_runs(mine);
-        let mut data = Vec::new();
+        let mut data = BytesList::new();
         for run in &runs {
-            data.extend_from_slice(run.payload.data.as_ref().expect("real path"));
+            data.append(run.payload.data.clone().expect("real path"));
         }
         if !runs.is_empty() {
-            fh.writev(&pieces_request(&runs), &data).await?;
+            fh.writev(&pieces_request(&runs), data).await?;
             io_calls = runs.len() as u64;
         }
     }
@@ -344,7 +354,7 @@ fn route_by_node(
         let take = (end - off).min(unit_end - off);
         let owner = striping.node_of_unit(unit) % procs;
         let payload = match &piece.payload.data {
-            Some(d) => Payload::bytes(d[consumed as usize..(consumed + take) as usize].to_vec()),
+            Some(d) => Payload::bytes(d.slice(consumed, take)),
             None => Payload::synthetic(take),
         };
         out.push((
@@ -444,12 +454,12 @@ pub async fn write_collective_batched(
         }
     } else {
         let runs = merge_runs(mine);
-        let mut data = Vec::new();
+        let mut data = BytesList::new();
         for run in &runs {
-            data.extend_from_slice(run.payload.data.as_ref().expect("real path"));
+            data.append(run.payload.data.clone().expect("real path"));
         }
         if !runs.is_empty() {
-            fh.writev(&pieces_request(&runs), &data).await?;
+            fh.writev(&pieces_request(&runs), data).await?;
             io_calls = 1;
         }
     }
@@ -468,7 +478,7 @@ fn clip_piece(p: &Piece, lo: u64, hi: u64) -> Option<Piece> {
         return None;
     }
     let payload = match &p.payload.data {
-        Some(d) => Payload::bytes(d[(s - p.offset) as usize..(e - p.offset) as usize].to_vec()),
+        Some(d) => Payload::bytes(d.slice(s - p.offset, e - s)),
         None => Payload::synthetic(e - s),
     };
     Some(Piece { offset: s, payload })
@@ -580,7 +590,7 @@ pub async fn read_collective(
         .unwrap_or(u64::MAX);
     let ext_hi = asked.iter().flatten().map(|s| s.end()).max().unwrap_or(0);
     let mut io_calls = 0u64;
-    let region_data: Option<Vec<u8>> = if ext_lo < ext_hi {
+    let region_data: Option<Bytes> = if ext_lo < ext_hi {
         io_calls = 1;
         let req = Span::new(ext_lo, ext_hi - ext_lo).to_request();
         match fh.readv(&req).await {
@@ -604,7 +614,7 @@ pub async fn read_collective(
                 .map(|s| match &region_data {
                     Some(d) => Piece::bytes(
                         s.offset,
-                        d[(s.offset - ext_lo) as usize..(s.end() - ext_lo) as usize].to_vec(),
+                        d.slice((s.offset - ext_lo) as usize, s.len as usize),
                     ),
                     None => Piece::synthetic(s.offset, s.len),
                 })
@@ -626,7 +636,9 @@ pub async fn read_collective(
         .map(|(_, p)| p.len)
         .sum();
 
-    // Reassemble the answers per requested span.
+    // Reassemble the answers per requested span: stitch the fragments'
+    // shared views together in offset order, zero-filling any uncovered
+    // gap (matching what a direct read of a sparse file would return).
     let mut frags: Vec<Piece> = Vec::new();
     let mut any_synthetic = false;
     for p in got {
@@ -635,21 +647,30 @@ pub async fn read_collective(
             None => any_synthetic = true,
         }
     }
+    frags.sort_by_key(|f| f.offset);
     let out: Vec<Payload> = wants
         .iter()
         .map(|w| {
             if any_synthetic {
                 return Payload::synthetic(w.len);
             }
-            let mut buf = vec![0u8; w.len as usize];
+            let mut buf = BytesList::new();
+            let mut cursor = w.offset;
             for f in &frags {
-                let s = f.offset.max(w.offset);
+                let s = f.offset.max(cursor);
                 let e = f.end().min(w.end());
-                if s < e {
-                    let d = f.payload.data.as_ref().expect("real path");
-                    buf[(s - w.offset) as usize..(e - w.offset) as usize]
-                        .copy_from_slice(&d[(s - f.offset) as usize..(e - f.offset) as usize]);
+                if s >= e {
+                    continue;
                 }
+                if s > cursor {
+                    buf.append(zeros(s - cursor));
+                }
+                let d = f.payload.data.as_ref().expect("real path");
+                buf.append(d.slice(s - f.offset, e - s));
+                cursor = e;
+            }
+            if cursor < w.end() {
+                buf.append(zeros(w.end() - cursor));
             }
             Payload::bytes(buf)
         })
@@ -678,7 +699,7 @@ mod tests {
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].offset, 0);
         assert_eq!(runs[0].payload.len, 13);
-        let d = runs[0].payload.data.as_ref().unwrap();
+        let d = runs[0].payload.to_bytes();
         assert_eq!(&d[10..], &[1, 2, 3]);
     }
 
@@ -711,7 +732,7 @@ mod tests {
             hi: 100,
             chunk: 25,
         };
-        let frags = route_piece(&d, Piece::bytes(20, (0..20u8).collect()));
+        let frags = route_piece(&d, Piece::bytes(20, (0..20u8).collect::<Vec<_>>()));
         assert_eq!(frags.len(), 2);
         assert_eq!(frags[0].0, 0);
         assert_eq!(frags[0].1.offset, 20);
@@ -719,20 +740,17 @@ mod tests {
         assert_eq!(frags[1].0, 1);
         assert_eq!(frags[1].1.offset, 25);
         assert_eq!(frags[1].1.payload.len, 15);
-        assert_eq!(frags[1].1.payload.data.as_ref().unwrap()[0], 5);
+        assert_eq!(frags[1].1.payload.to_bytes()[0], 5);
     }
 
     #[test]
     fn clip_piece_slices_data_correctly() {
-        let p = Piece::bytes(100, (0..50u8).collect());
+        let p = Piece::bytes(100, (0..50u8).collect::<Vec<_>>());
         assert_eq!(clip_piece(&p, 0, 100), None);
         assert_eq!(clip_piece(&p, 150, 200), None);
         let c = clip_piece(&p, 110, 130).expect("intersects");
         assert_eq!(c.offset, 110);
-        assert_eq!(
-            c.payload.data.as_ref().unwrap().as_slice(),
-            &(10..30u8).collect::<Vec<u8>>()[..]
-        );
+        assert_eq!(c.payload.to_bytes(), (10..30u8).collect::<Vec<u8>>());
         // Synthetic clipping preserves length only.
         let s = Piece::synthetic(0, 100);
         let cs = clip_piece(&s, 90, 500).expect("intersects");

@@ -265,10 +265,7 @@ mod tests {
             c.gather(0, Payload::bytes(vec![c.rank() as u8])).await
         });
         let at_root = outs[0].as_ref().expect("root has the gather");
-        let vals: Vec<u8> = at_root
-            .iter()
-            .map(|p| p.data.as_ref().unwrap()[0])
-            .collect();
+        let vals: Vec<u8> = at_root.iter().map(|p| p.to_bytes()[0]).collect();
         assert_eq!(vals, vec![0, 1, 2, 3]);
         assert!(outs[1].is_none());
     }
@@ -277,9 +274,7 @@ mod tests {
     fn allgather_gives_everyone_everything() {
         let outs = run_ranks(3, |c| async move {
             let got = c.allgather(Payload::bytes(vec![c.rank() as u8 * 10])).await;
-            got.iter()
-                .map(|p| p.data.as_ref().unwrap()[0])
-                .collect::<Vec<u8>>()
+            got.iter().map(|p| p.to_bytes()[0]).collect::<Vec<u8>>()
         });
         for o in outs {
             assert_eq!(o, vec![0, 10, 20]);
@@ -293,7 +288,7 @@ mod tests {
             let to_each: Vec<Payload> = (0..4).map(|d| Payload::bytes(vec![me, d as u8])).collect();
             let got = c.alltoallv(to_each).await;
             got.iter()
-                .map(|p| p.data.as_ref().unwrap().clone())
+                .map(|p| p.to_bytes().to_vec())
                 .collect::<Vec<Vec<u8>>>()
         });
         for (me, got) in outs.iter().enumerate() {

@@ -8,23 +8,32 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
+use iosim_buf::{Bytes, BytesList};
 use iosim_machine::Machine;
 use iosim_simkit::time::{SimDuration, SimTime};
 
 /// A message payload: real bytes or a synthetic length.
+///
+/// Real bytes travel as a [`BytesList`] rope of shared buffers, so
+/// building a message from fragments (two-phase encode, run merging) and
+/// cloning a payload per destination (collectives) never copies data —
+/// only [`Payload::into_bytes`]/[`Payload::to_bytes`] on a multi-segment
+/// rope materializes contiguous storage.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Payload {
     /// Length in bytes (always meaningful for timing).
     pub len: u64,
     /// The bytes, when carried.
-    pub data: Option<Vec<u8>>,
+    pub data: Option<BytesList>,
 }
 
 impl Payload {
-    /// A payload carrying real bytes.
-    pub fn bytes(data: Vec<u8>) -> Payload {
+    /// A payload carrying real bytes (accepts `Vec<u8>`, `Bytes`, or a
+    /// prebuilt rope).
+    pub fn bytes(data: impl Into<BytesList>) -> Payload {
+        let data = data.into();
         Payload {
-            len: data.len() as u64,
+            len: data.len(),
             data: Some(data),
         }
     }
@@ -36,12 +45,19 @@ impl Payload {
 
     /// An empty payload (control message).
     pub fn empty() -> Payload {
-        Payload::bytes(Vec::new())
+        Payload::bytes(BytesList::new())
     }
 
-    /// Unwrap real bytes; panics on synthetic payloads.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.data.expect("payload is synthetic")
+    /// The carried bytes as one contiguous buffer. Header-only messages
+    /// (`data: None`) yield an empty buffer — callers that need to
+    /// distinguish "no data" from "empty data" check `data` directly.
+    pub fn into_bytes(self) -> Bytes {
+        self.data.map(|d| d.flatten()).unwrap_or_default()
+    }
+
+    /// Like [`Payload::into_bytes`], without consuming the payload.
+    pub fn to_bytes(&self) -> Bytes {
+        self.data.as_ref().map(|d| d.flatten()).unwrap_or_default()
     }
 }
 
@@ -288,6 +304,26 @@ mod tests {
     fn world(sim: &Sim, n: usize) -> World {
         let m = Machine::new(sim.handle(), presets::paragon_small());
         World::new(m, n)
+    }
+
+    #[test]
+    fn into_bytes_of_header_only_message_is_empty() {
+        // Regression: this used to panic ("payload is synthetic") on
+        // `data: None`, taking down receivers of header-only messages.
+        assert!(Payload::synthetic(64).into_bytes().is_empty());
+        assert!(Payload::synthetic(0).to_bytes().is_empty());
+        assert!(Payload::empty().into_bytes().is_empty());
+    }
+
+    #[test]
+    fn payload_clone_shares_buffers_without_copying() {
+        let p = Payload::bytes(vec![1, 2, 3, 4]);
+        iosim_buf::tally::reset();
+        let q = p.clone();
+        assert_eq!(p, q);
+        let t = iosim_buf::tally::snapshot();
+        assert_eq!(t.bytes_copied, 0);
+        assert_eq!(t.bytes_allocated, 0);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Extent-tree storage for stored files: the zero-copy backing store.
+//!
+//! A stored file's content is a set of non-overlapping extents keyed by
+//! file offset, each an [`Bytes`] view into a shared buffer. A write
+//! **adopts** the incoming segments — the application's buffer becomes
+//! the file's backing store, no memcpy — trimming any overlapped older
+//! extents with O(1) slices. A read assembles the requested range as a
+//! rope of shared views, filling holes (never-written gaps and
+//! `preallocate`d tails) from a shared zero page.
+//!
+//! Adjacent extents are deliberately **not** merged: merging would copy,
+//! and the simulator's timing engine never looks at extents — virtual
+//! time depends only on (offset, length) geometry, which is unchanged.
+
+use std::collections::BTreeMap;
+
+use iosim_buf::{zeros, Bytes, BytesList};
+
+/// Non-overlapping byte extents of one stored file, keyed by start
+/// offset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtentTree {
+    extents: BTreeMap<u64, Bytes>,
+}
+
+impl ExtentTree {
+    /// An empty tree.
+    pub fn new() -> ExtentTree {
+        ExtentTree::default()
+    }
+
+    /// Number of extents currently held (diagnostics).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Store `data` at `offset`, adopting the buffer without copying.
+    /// Overlapped parts of existing extents are trimmed away (O(1)
+    /// slices of their shared backing).
+    pub fn write(&mut self, offset: u64, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        // An older extent overhanging the new range from the left is
+        // split: its prefix survives, and — if it outlives the new range
+        // on the right too — so does its suffix.
+        if let Some((&s, e)) = self.extents.range(..offset).next_back() {
+            let e_end = s + e.len() as u64;
+            if e_end > offset {
+                let e = self.extents.remove(&s).expect("just found");
+                self.extents.insert(s, e.slice(0, (offset - s) as usize));
+                if e_end > end {
+                    self.extents
+                        .insert(end, e.slice((end - s) as usize, (e_end - end) as usize));
+                }
+            }
+        }
+        // Extents starting inside the new range lose their overlapped
+        // prefix; a suffix outliving the range is re-keyed at `end`.
+        let inside: Vec<u64> = self.extents.range(offset..end).map(|(&s, _)| s).collect();
+        for s in inside {
+            let e = self.extents.remove(&s).expect("just listed");
+            let e_end = s + e.len() as u64;
+            if e_end > end {
+                self.extents
+                    .insert(end, e.slice((end - s) as usize, (e_end - end) as usize));
+            }
+        }
+        self.extents.insert(offset, data);
+    }
+
+    /// Store a rope at `offset`: each segment becomes (or trims into)
+    /// its own extent, still without copying.
+    pub fn write_list(&mut self, offset: u64, data: &BytesList) {
+        let mut at = offset;
+        for seg in data.segments() {
+            let len = seg.len() as u64;
+            self.write(at, seg.clone());
+            at += len;
+        }
+    }
+
+    /// Assemble `[offset, offset + len)` as a rope of shared views,
+    /// zero-filling any holes. Never copies stored bytes.
+    pub fn read(&self, offset: u64, len: u64) -> BytesList {
+        let end = offset + len;
+        let mut out = BytesList::new();
+        if len == 0 {
+            return out;
+        }
+        let mut cursor = offset;
+        // An extent straddling `offset` from the left contributes first.
+        if let Some((&s, e)) = self.extents.range(..offset).next_back() {
+            let e_end = s + e.len() as u64;
+            if e_end > offset {
+                let take = e_end.min(end) - offset;
+                out.push(e.slice((offset - s) as usize, take as usize));
+                cursor += take;
+            }
+        }
+        for (&s, e) in self.extents.range(offset..end) {
+            if s > cursor {
+                out.append(zeros(s - cursor));
+            }
+            let take = (s + e.len() as u64).min(end) - s;
+            out.push(e.slice(0, take as usize));
+            cursor = s + take;
+        }
+        if cursor < end {
+            out.append(zeros(end - cursor));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim_buf::tally;
+
+    fn bytes(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+
+    #[test]
+    fn writes_adopt_buffers_and_reads_share_them() {
+        let mut t = ExtentTree::new();
+        let payload: Vec<u8> = (0..100u8).collect();
+        t.write(50, bytes(payload.clone()));
+        tally::reset();
+        let got = t.read(50, 100);
+        assert_eq!(got, payload);
+        // Reading shares the stored extent: no allocation, no copy.
+        assert_eq!(tally::snapshot(), tally::DataPlaneTally::default());
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let mut t = ExtentTree::new();
+        t.write(10, bytes(vec![7; 5]));
+        t.write(25, bytes(vec![9; 5]));
+        let got = t.read(0, 40).to_vec();
+        let mut want = vec![0u8; 40];
+        want[10..15].fill(7);
+        want[25..30].fill(9);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn overlapping_write_trims_older_extents() {
+        let mut t = ExtentTree::new();
+        t.write(0, bytes((0..30u8).collect()));
+        // Overwrite the middle; prefix and suffix of the old extent
+        // survive as trimmed views.
+        t.write(10, bytes(vec![255; 10]));
+        assert_eq!(t.extent_count(), 3);
+        let got = t.read(0, 30).to_vec();
+        let mut want: Vec<u8> = (0..30u8).collect();
+        want[10..20].fill(255);
+        assert_eq!(got, want);
+        // Overwrite spanning several extents collapses them.
+        t.write(5, bytes(vec![1; 20]));
+        assert_eq!(t.read(0, 30).to_vec()[5..25], [1u8; 20]);
+    }
+
+    #[test]
+    fn exact_overwrite_replaces_in_place() {
+        let mut t = ExtentTree::new();
+        t.write(0, bytes(vec![1; 16]));
+        t.write(0, bytes(vec![2; 16]));
+        assert_eq!(t.extent_count(), 1);
+        assert_eq!(t.read(0, 16), vec![2u8; 16]);
+    }
+
+    #[test]
+    fn straddling_read_clips_to_range() {
+        let mut t = ExtentTree::new();
+        t.write(0, bytes((0..50u8).collect()));
+        let got = t.read(20, 10);
+        assert_eq!(got, (20..30u8).collect::<Vec<_>>());
+        assert_eq!(got.segments().len(), 1);
+    }
+}

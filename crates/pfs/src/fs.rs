@@ -22,7 +22,12 @@
 //!
 //! Files either **store real bytes** (so correctness of optimized I/O
 //! paths can be asserted byte-for-byte) or are **synthetic** (timing only,
-//! for the multi-gigabyte SCF workloads).
+//! for the multi-gigabyte SCF workloads). Stored content lives in an
+//! [`ExtentTree`]: writes adopt the caller's shared buffers without a
+//! memcpy, and reads hand back views into the same storage. The buffer
+//! cache and the disk queues are pure *timing* models — they never hold
+//! data bytes, so sharing buffers between the application, the message
+//! layer, and the file store is safe.
 //!
 //! When the machine config enables a buffer cache
 //! ([`iosim_machine::CachePolicy::Lru`]), each run consults the
@@ -37,6 +42,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
+use iosim_buf::{Bytes, BytesList};
 use iosim_cache::BufferCache;
 use iosim_machine::{Interface, Machine};
 use iosim_simkit::sync::Event;
@@ -44,6 +50,7 @@ use iosim_simkit::time::SimTime;
 use iosim_trace::{OpKind, TraceCollector};
 
 use crate::cmdq::{CommandQueues, DiskCommand};
+use crate::extent::ExtentTree;
 use crate::layout::Striping;
 use crate::request::IoRequest;
 
@@ -92,8 +99,8 @@ impl std::error::Error for FsError {}
 /// Whether a file holds real bytes or only timing metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Content {
-    /// Real bytes, for functional verification.
-    Stored(Vec<u8>),
+    /// Real bytes in an extent tree, for functional verification.
+    Stored(ExtentTree),
     /// Timing-only: size tracked, no data.
     Synthetic,
 }
@@ -213,7 +220,7 @@ impl FileSystem {
             (uid as usize) % io_nodes
         };
         let content = if opts.stored {
-            Content::Stored(Vec::new())
+            Content::Stored(ExtentTree::new())
         } else {
             Content::Synthetic
         };
@@ -730,13 +737,14 @@ impl FileHandle {
         Ok(())
     }
 
-    /// Copy `[offset, offset + len)` out of the stored content.
-    fn extract_into(&self, offset: u64, len: u64, out: &mut Vec<u8>) {
+    /// View `[offset, offset + len)` of the stored content as a rope of
+    /// shared buffers (holes zero-filled, nothing copied).
+    fn extract(&self, offset: u64, len: u64) -> BytesList {
         let f = self.file.borrow();
-        let Content::Stored(data) = &f.content else {
+        let Content::Stored(tree) = &f.content else {
             unreachable!("stored-ness checked before the timed op")
         };
-        out.extend_from_slice(&data[offset as usize..(offset + len) as usize]);
+        tree.read(offset, len)
     }
 
     /// One read extent through the fragment engine; payload-vs-discard
@@ -747,27 +755,35 @@ impl FileHandle {
         offset: u64,
         len: u64,
         want_bytes: bool,
-    ) -> Result<Option<Vec<u8>>, FsError> {
+    ) -> Result<Option<Bytes>, FsError> {
         self.check_read(offset, len)?;
         if want_bytes {
             self.check_stored()?;
         }
         self.data_op(OpKind::Read, offset, len).await;
-        Ok(want_bytes.then(|| {
-            let mut out = Vec::with_capacity(len as usize);
-            self.extract_into(offset, len, &mut out);
-            out
-        }))
+        Ok(want_bytes.then(|| self.extract(offset, len).flatten()))
     }
 
     /// Read `len` bytes at `offset` (pread-style, no Seek op), returning
-    /// the data. Errors on synthetic files — use
-    /// [`FileHandle::read_discard_at`] for those.
-    pub async fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
+    /// a shared view of the stored data (a copy is made only when the
+    /// range spans several stored extents). Errors on synthetic files —
+    /// use [`FileHandle::read_discard_at`] for those.
+    pub async fn read_at(&self, offset: u64, len: u64) -> Result<Bytes, FsError> {
         Ok(self
             .read_one(offset, len, true)
             .await?
             .expect("payload mode returns bytes"))
+    }
+
+    /// Read `len` bytes at `offset` as a rope of shared extent views —
+    /// like [`FileHandle::read_at`] but never flattening, so no byte is
+    /// copied even when the range spans several stored extents. Timing
+    /// and tracing identical to `read_at`.
+    pub async fn read_rope_at(&self, offset: u64, len: u64) -> Result<BytesList, FsError> {
+        self.check_read(offset, len)?;
+        self.check_stored()?;
+        self.data_op(OpKind::Read, offset, len).await;
+        Ok(self.extract(offset, len))
     }
 
     /// Read `len` bytes at `offset`, discarding data (works on synthetic
@@ -783,7 +799,7 @@ impl FileHandle {
     /// interfaces it is the exact equivalent of a `read_at` fragment
     /// loop. Errors on synthetic files — use
     /// [`FileHandle::readv_discard`] for those.
-    pub async fn readv(&self, req: &IoRequest) -> Result<Vec<u8>, FsError> {
+    pub async fn readv(&self, req: &IoRequest) -> Result<Bytes, FsError> {
         Ok(self.vectored_read(req, true).await?.unwrap_or_default())
     }
 
@@ -797,7 +813,7 @@ impl FileHandle {
         &self,
         req: &IoRequest,
         want_bytes: bool,
-    ) -> Result<Option<Vec<u8>>, FsError> {
+    ) -> Result<Option<Bytes>, FsError> {
         for &(off, len) in req.extents() {
             self.check_read(off, len)?;
         }
@@ -805,7 +821,7 @@ impl FileHandle {
             self.check_stored()?;
         }
         if req.is_empty() {
-            return Ok(want_bytes.then(Vec::new));
+            return Ok(want_bytes.then(Bytes::new));
         }
         self.note_listio(req);
         if self.is_listio(req) {
@@ -816,16 +832,16 @@ impl FileHandle {
             }
         }
         Ok(want_bytes.then(|| {
-            let mut out = Vec::with_capacity(req.total_bytes() as usize);
+            let mut out = BytesList::new();
             for &(off, len) in req.extents() {
-                self.extract_into(off, len, &mut out);
+                out.append(self.extract(off, len));
             }
-            out
+            out.flatten()
         }))
     }
 
     /// Sequential read from the file pointer, advancing it.
-    pub async fn read(&self, len: u64) -> Result<Vec<u8>, FsError> {
+    pub async fn read(&self, len: u64) -> Result<Bytes, FsError> {
         let off = self.pos.get();
         let out = self.read_at(off, len).await?;
         self.pos.set(off + len);
@@ -841,20 +857,18 @@ impl FileHandle {
     }
 
     /// Untimed bookkeeping of one write extent: cap check, growth, and —
-    /// in payload mode — the byte copy. `data` is `None` for discard
-    /// (timing-only) writes; either mode grows the file size.
-    fn note_write(&self, offset: u64, len: u64, data: Option<&[u8]>) -> Result<(), FsError> {
+    /// in payload mode — adoption of the shared buffers into the extent
+    /// tree (no copy). `data` is `None` for discard (timing-only) writes;
+    /// either mode grows the file size.
+    fn note_write(&self, offset: u64, len: u64, data: Option<&BytesList>) -> Result<(), FsError> {
         let mut f = self.file.borrow_mut();
         let end = offset + len;
-        if let Content::Stored(buf) = &mut f.content {
+        if let Content::Stored(tree) = &mut f.content {
             if end > STORED_FILE_CAP {
                 return Err(FsError::TooLarge(f.name.clone()));
             }
-            if buf.len() < end as usize {
-                buf.resize(end as usize, 0);
-            }
             if let Some(d) = data {
-                buf[offset as usize..end as usize].copy_from_slice(d);
+                tree.write_list(offset, d);
             }
         }
         f.size = f.size.max(end);
@@ -864,16 +878,25 @@ impl FileHandle {
     /// One write extent through the fragment engine; payload-vs-discard
     /// is the `data` mode (the single servicing routine behind
     /// `write_at` and `write_discard_at`).
-    async fn write_one(&self, offset: u64, len: u64, data: Option<&[u8]>) -> Result<(), FsError> {
+    async fn write_one(
+        &self,
+        offset: u64,
+        len: u64,
+        data: Option<&BytesList>,
+    ) -> Result<(), FsError> {
         self.note_write(offset, len, data)?;
         self.data_op(OpKind::Write, offset, len).await;
         Ok(())
     }
 
-    /// Write `data` at `offset` (pwrite-style). Stores bytes when the file
-    /// is stored; always updates size and timing.
-    pub async fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), FsError> {
-        self.write_one(offset, data.len() as u64, Some(data)).await
+    /// Write `data` at `offset` (pwrite-style). A stored file adopts the
+    /// buffers as its backing store — pass an owned `Vec<u8>`, [`Bytes`],
+    /// or [`BytesList`] for a zero-copy write (a `&[u8]` is copied once
+    /// on conversion); always updates size and timing.
+    pub async fn write_at(&self, offset: u64, data: impl Into<BytesList>) -> Result<(), FsError> {
+        let data = data.into();
+        let len = data.len();
+        self.write_one(offset, len, Some(&data)).await
     }
 
     /// Write `len` synthetic bytes at `offset` (timing only; size grows).
@@ -891,9 +914,10 @@ impl FileHandle {
     ///
     /// # Panics
     /// Panics if `data.len() != req.total_bytes()`.
-    pub async fn writev(&self, req: &IoRequest, data: &[u8]) -> Result<(), FsError> {
+    pub async fn writev(&self, req: &IoRequest, data: impl Into<BytesList>) -> Result<(), FsError> {
+        let data = data.into();
         assert_eq!(
-            data.len() as u64,
+            data.len(),
             req.total_bytes(),
             "writev payload must match the request's total bytes"
         );
@@ -905,12 +929,16 @@ impl FileHandle {
         self.vectored_write(req, None).await
     }
 
-    async fn vectored_write(&self, req: &IoRequest, data: Option<&[u8]>) -> Result<(), FsError> {
-        let mut cursor = 0usize;
+    async fn vectored_write(
+        &self,
+        req: &IoRequest,
+        data: Option<BytesList>,
+    ) -> Result<(), FsError> {
+        let mut cursor = 0u64;
         for &(off, len) in req.extents() {
-            let frag = data.map(|d| &d[cursor..cursor + len as usize]);
-            self.note_write(off, len, frag)?;
-            cursor += len as usize;
+            let frag = data.as_ref().map(|d| d.slice(cursor, len));
+            self.note_write(off, len, frag.as_ref())?;
+            cursor += len;
         }
         if req.is_empty() {
             return Ok(());
@@ -927,10 +955,12 @@ impl FileHandle {
     }
 
     /// Sequential write from the file pointer, advancing it.
-    pub async fn write(&self, data: &[u8]) -> Result<(), FsError> {
+    pub async fn write(&self, data: impl Into<BytesList>) -> Result<(), FsError> {
+        let data = data.into();
+        let len = data.len();
         let off = self.pos.get();
-        self.write_at(off, data).await?;
-        self.pos.set(off + data.len() as u64);
+        self.write_one(off, len, Some(&data)).await?;
+        self.pos.set(off + len);
         Ok(())
     }
 
@@ -943,21 +973,20 @@ impl FileHandle {
     }
 
     /// Grow the file to at least `size` bytes without timed I/O (metadata
-    /// allocation, as PFS `lsize`). Stored files are zero-filled.
+    /// allocation, as PFS `lsize`). Pure metadata even for stored files:
+    /// the extent tree zero-fills never-written ranges on read, so no
+    /// backing store is materialized here.
     ///
     /// # Panics
     /// Panics if a stored file would exceed [`STORED_FILE_CAP`].
     pub fn preallocate(&self, size: u64) {
         let mut f = self.file.borrow_mut();
-        if let Content::Stored(buf) = &mut f.content {
+        if matches!(f.content, Content::Stored(_)) {
             assert!(
                 size <= STORED_FILE_CAP,
                 "preallocate of stored file {} beyond cap",
                 f.name
             );
-            if (buf.len() as u64) < size {
-                buf.resize(size as usize, 0);
-            }
         }
         f.size = f.size.max(size);
     }

@@ -20,6 +20,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use iosim_buf::Bytes;
 use iosim_simkit::sync::Event;
 use iosim_simkit::time::SimTime;
 
@@ -155,7 +156,7 @@ impl RecordFile {
     }
 
     /// Read this node's `k`-th record.
-    pub async fn read_record(&self, k: u64) -> Result<Vec<u8>, FsError> {
+    pub async fn read_record(&self, k: u64) -> Result<Bytes, FsError> {
         self.fh.read_at(self.offset_of(k), self.record_size).await
     }
 
@@ -167,12 +168,12 @@ impl RecordFile {
 
     /// Read this node's records `k0 .. k0+count` with one vectored
     /// request; under the PASSION interface the whole batch is one list-I/O
-    /// call. Returns one byte vector per record.
-    pub async fn read_records(&self, k0: u64, count: u64) -> Result<Vec<Vec<u8>>, FsError> {
+    /// call. Returns one buffer per record, all views of the same read.
+    pub async fn read_records(&self, k0: u64, count: u64) -> Result<Vec<Bytes>, FsError> {
         let flat = self.fh.readv(&self.records_request(k0, count)).await?;
-        Ok(flat
-            .chunks_exact(self.record_size as usize)
-            .map(<[u8]>::to_vec)
+        let rs = self.record_size as usize;
+        Ok((0..count as usize)
+            .map(|k| flat.slice(k * rs, rs))
             .collect())
     }
 

@@ -84,7 +84,10 @@ async fn checkpoint(ctx: AppCtx, collective: bool) -> Vec<u8> {
     }
     ctx.comm.barrier().await;
     let data = if ctx.rank == 0 {
-        fh.read_at(0, GRID * GRID * 8).await.expect("read back")
+        fh.read_at(0, GRID * GRID * 8)
+            .await
+            .expect("read back")
+            .to_vec()
     } else {
         Vec::new()
     };

@@ -35,6 +35,7 @@
 //! ```
 
 pub use iosim_apps as apps;
+pub use iosim_buf as buf;
 pub use iosim_core as optim;
 pub use iosim_machine as machine;
 pub use iosim_msg as msg;

@@ -55,7 +55,11 @@ fn collective_write_equals_direct_write_for_irregular_pattern() {
                 }
                 ctx.comm.barrier().await;
                 if ctx.rank == 0 {
-                    *out.borrow_mut() = fh.read_at(0, RECORDS * 100).await.expect("read back");
+                    *out.borrow_mut() = fh
+                        .read_at(0, RECORDS * 100)
+                        .await
+                        .expect("read back")
+                        .to_vec();
                 }
             })
         });
@@ -110,7 +114,7 @@ fn buffered_collective_write_matches_direct() {
                     }
                     None => {
                         for p in mine {
-                            fh.write_at(p.offset, &p.payload.data.expect("bytes"))
+                            fh.write_at(p.offset, p.payload.data.expect("bytes"))
                                 .await
                                 .expect("direct");
                         }
@@ -118,7 +122,11 @@ fn buffered_collective_write_matches_direct() {
                 }
                 ctx.comm.barrier().await;
                 if ctx.rank == 0 {
-                    *out.borrow_mut() = fh.read_at(0, RECORDS * 64).await.expect("read back");
+                    *out.borrow_mut() = fh
+                        .read_at(0, RECORDS * 64)
+                        .await
+                        .expect("read back")
+                        .to_vec();
                 }
             })
         });
@@ -203,8 +211,8 @@ fn collective_read_returns_written_bytes() {
                 .expect("collective read");
             for (w, p) in wants.iter().zip(&got) {
                 let bytes = p.data.as_ref().expect("stored read");
-                for (i, b) in bytes.iter().enumerate() {
-                    assert_eq!(*b, ((w.offset + i as u64) % 251) as u8);
+                for (i, b) in bytes.iter_bytes().enumerate() {
+                    assert_eq!(b, ((w.offset + i as u64) % 251) as u8);
                 }
             }
         })

@@ -69,7 +69,7 @@ fn timed_read(
         let t0 = h.now();
         let mut got = Vec::new();
         match (stored, vectored) {
-            (true, true) => got = fh.readv(&req).await.unwrap(),
+            (true, true) => got = fh.readv(&req).await.unwrap().to_vec(),
             (true, false) => {
                 for &(off, len) in req.extents() {
                     got.extend_from_slice(&fh.read_at(off, len).await.unwrap());
@@ -139,7 +139,7 @@ fn timed_write(
         }
         let elapsed = h.now() - t0;
         let file = if stored {
-            fh.read_at(0, req.end()).await.unwrap()
+            fh.read_at(0, req.end()).await.unwrap().to_vec()
         } else {
             Vec::new()
         };

@@ -220,7 +220,11 @@ fn batched_collective_preserves_stored_bytes() {
                     .expect("collective");
                 ctx.comm.barrier().await;
                 if ctx.rank == 0 {
-                    *out.borrow_mut() = fh.read_at(0, RECORDS * 96).await.expect("read back");
+                    *out.borrow_mut() = fh
+                        .read_at(0, RECORDS * 96)
+                        .await
+                        .expect("read back")
+                        .to_vec();
                 }
             })
         });

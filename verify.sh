@@ -23,10 +23,13 @@ echo "== workspace tests =="
 cargo test -q --offline --workspace
 
 echo "== bench wallclock smoke =="
-# Gate is "runs without panicking and emits a well-formed document" —
-# wall-clock timings are machine-dependent and never fail the build.
+# Gate is "runs without panicking and emits a well-formed v2 document"
+# — wall-clock timings are machine-dependent and never fail the build,
+# but `bench check` does fail on NaN/negative wall times, non-integer
+# counters, a missing data_plane section, or all-zero data-plane byte
+# tallies (which would mean the zero-copy accounting came unwired).
 # The smoke run writes under target/ so the committed trajectory file
-# (BENCH_wallclock.json) is left untouched; both are layout-checked.
+# (BENCH_wallclock.json) is left untouched; both are validated.
 cargo run --release --offline -p iosim-bench --bin bench -- \
   wallclock --smoke --out target/BENCH_wallclock.smoke.json
 cargo run --release --offline -p iosim-bench --bin bench -- \
