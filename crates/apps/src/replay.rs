@@ -1,22 +1,20 @@
 //! I/O trace replay: drive the simulated machine with a recorded
 //! application trace instead of a built-in workload.
 //!
-//! The paper's methodology is trace-driven at heart — Pablo records what
-//! the applications did, and the optimizations are judged by how they
-//! transform that operation stream. This module closes the loop for
-//! library users: record (or synthesize) a trace in a simple text format,
-//! then replay it
-//!
-//! - **directly** — each rank issues its operations in order
-//!   (seek + read/write), like the unoptimized applications; or
-//! - **collectively** — writes and reads are batched into two-phase
-//!   collective windows, showing what the optimization would buy that
-//!   workload before touching the real code.
+//! This module is a thin compatibility wrapper over the
+//! [`iosim_workload`] crate, which owns trace parsing and the replay
+//! engine. The original `iosim replay` surface — the 4-column text
+//! format, [`ReplayConfig`], and [`replay`] returning a [`RunResult`] —
+//! keeps working identically; new code should use `iosim_workload`
+//! directly for the extended op-stream and Darshan-like formats, the
+//! list-I/O replay mode, per-op latency percentiles, and the open-loop
+//! generator.
 //!
 //! # Trace format
 //!
 //! One operation per line: `<rank> <r|w> <offset> <bytes>`. Blank lines
-//! and `#` comments are ignored.
+//! and `#` comments are ignored; fields may be separated by spaces or
+//! tabs and CRLF line endings are accepted.
 //!
 //! ```text
 //! # rank op offset bytes
@@ -25,132 +23,18 @@
 //! 0 r 0     4096
 //! ```
 
-use std::fmt;
-
-use iosim_core::two_phase::{read_collective, write_collective, Piece, Span};
 use iosim_machine::{Interface, MachineConfig};
-use iosim_pfs::CreateOptions;
+use iosim_workload::engine::{ReplayMode, ReplaySpec, RunStats};
+use iosim_workload::opstream::OpStream;
 
-use crate::common::{run_ranks, RunResult};
+// The legacy types live in `iosim_workload` now; re-exported so
+// `iosim_apps::replay::{TraceOp, ParseError, ...}` paths keep compiling.
+pub use iosim_workload::opstream::{
+    extent_of, parse_legacy as parse_trace, ranks_of, render_legacy as render_trace, ParseError,
+    TraceKind, TraceOp,
+};
 
-/// Operation kind in a trace.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TraceKind {
-    /// A read.
-    Read,
-    /// A write.
-    Write,
-}
-
-/// One traced operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct TraceOp {
-    /// Issuing rank.
-    pub rank: usize,
-    /// Read or write.
-    pub kind: TraceKind,
-    /// Absolute file offset.
-    pub offset: u64,
-    /// Length in bytes.
-    pub len: u64,
-}
-
-/// Trace parse error with line number.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    /// 1-based line number.
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-/// Parse the text trace format.
-///
-/// ```
-/// use iosim_apps::replay::{parse_trace, TraceKind};
-/// let ops = parse_trace("# demo\n0 w 0 4096\n1 r 4096 512\n").unwrap();
-/// assert_eq!(ops.len(), 2);
-/// assert_eq!(ops[1].kind, TraceKind::Read);
-/// assert!(parse_trace("0 q 0 1\n").is_err());
-/// ```
-pub fn parse_trace(text: &str) -> Result<Vec<TraceOp>, ParseError> {
-    let mut ops = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        let body = raw.split('#').next().unwrap_or("").trim();
-        if body.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = body.split_whitespace().collect();
-        if fields.len() != 4 {
-            return Err(ParseError {
-                line,
-                message: format!("expected 4 fields, got {}", fields.len()),
-            });
-        }
-        let rank: usize = fields[0].parse().map_err(|_| ParseError {
-            line,
-            message: format!("bad rank '{}'", fields[0]),
-        })?;
-        let kind = match fields[1] {
-            "r" | "R" => TraceKind::Read,
-            "w" | "W" => TraceKind::Write,
-            other => {
-                return Err(ParseError {
-                    line,
-                    message: format!("bad op '{other}' (expected r or w)"),
-                })
-            }
-        };
-        let offset: u64 = fields[2].parse().map_err(|_| ParseError {
-            line,
-            message: format!("bad offset '{}'", fields[2]),
-        })?;
-        let len: u64 = fields[3].parse().map_err(|_| ParseError {
-            line,
-            message: format!("bad length '{}'", fields[3]),
-        })?;
-        if len == 0 {
-            return Err(ParseError {
-                line,
-                message: "zero-length operation".into(),
-            });
-        }
-        ops.push(TraceOp {
-            rank,
-            kind,
-            offset,
-            len,
-        });
-    }
-    Ok(ops)
-}
-
-/// Render operations back to the text format.
-pub fn render_trace(ops: &[TraceOp]) -> String {
-    let mut out = String::from("# rank op offset bytes\n");
-    for op in ops {
-        out.push_str(&format!(
-            "{} {} {} {}\n",
-            op.rank,
-            match op.kind {
-                TraceKind::Read => "r",
-                TraceKind::Write => "w",
-            },
-            op.offset,
-            op.len
-        ));
-    }
-    out
-}
+use crate::common::RunResult;
 
 /// Replay configuration.
 #[derive(Clone, Debug)]
@@ -185,16 +69,6 @@ impl ReplayConfig {
     }
 }
 
-/// Number of ranks a trace needs.
-pub fn ranks_of(ops: &[TraceOp]) -> usize {
-    ops.iter().map(|o| o.rank + 1).max().unwrap_or(1)
-}
-
-/// File size a trace requires (max end offset).
-pub fn extent_of(ops: &[TraceOp]) -> u64 {
-    ops.iter().map(|o| o.offset + o.len).max().unwrap_or(0)
-}
-
 /// Replay `ops` under `cfg` and return the measurements.
 ///
 /// # Panics
@@ -204,81 +78,43 @@ pub fn extent_of(ops: &[TraceOp]) -> u64 {
 /// reads unwritten data is usually a recording bug — it is allowed here
 /// since only timing is modelled).
 pub fn replay(ops: &[TraceOp], cfg: &ReplayConfig) -> RunResult {
-    let n = ranks_of(ops);
-    let extent = extent_of(ops);
-    assert!(
-        n <= cfg.machine.compute_nodes,
-        "trace needs {n} ranks but the machine has {}",
-        cfg.machine.compute_nodes
-    );
-    let mut per_rank: Vec<Vec<TraceOp>> = vec![Vec::new(); n];
-    for op in ops {
-        per_rank[op.rank].push(*op);
+    let stream = OpStream::from_legacy(ops);
+    let spec = ReplaySpec {
+        machine: cfg.machine.clone(),
+        iface: cfg.iface,
+        mode: match cfg.collective_batch {
+            Some(batch) => ReplayMode::TwoPhase { window: batch },
+            None => ReplayMode::Direct,
+        },
+    };
+    RunResult::from(iosim_workload::engine::replay(&stream, &spec).stats)
+}
+
+/// The workload engine's measurements are field-for-field the
+/// applications' [`RunResult`]; the wrapper converts so callers keep one
+/// report type.
+impl From<RunStats> for RunResult {
+    fn from(s: RunStats) -> RunResult {
+        RunResult {
+            procs: s.procs,
+            io_nodes: s.io_nodes,
+            exec_time: s.exec_time,
+            io_time: s.io_time,
+            cum_io_time: s.cum_io_time,
+            summary: s.summary,
+            io_bytes: s.io_bytes,
+            io_ops: s.io_ops,
+            read_sizes: s.read_sizes,
+            write_sizes: s.write_sizes,
+            balance: s.balance,
+            cache: s.cache,
+            listio: s.listio,
+            queue: s.queue,
+            sim_events: s.sim_events,
+            sched_fingerprint: s.sched_fingerprint,
+            host_elapsed: s.host_elapsed,
+        }
     }
-    // All ranks must execute the same number of collective windows.
-    let windows = cfg.collective_batch.map(|b| {
-        per_rank
-            .iter()
-            .map(|v| v.len().div_ceil(b))
-            .max()
-            .unwrap_or(0)
-    });
-    let cfg2 = cfg.clone();
-    run_ranks(cfg.machine.clone(), n.max(1), move |ctx| {
-        let mine = per_rank.get(ctx.rank).cloned().unwrap_or_default();
-        let cfg = cfg2.clone();
-        Box::pin(async move {
-            let fh = ctx
-                .fs
-                .open(
-                    ctx.rank,
-                    cfg.iface,
-                    "replay.data",
-                    Some(CreateOptions::default()),
-                )
-                .await
-                .expect("open replay file");
-            fh.preallocate(extent);
-            match (cfg.collective_batch, windows) {
-                (Some(batch), Some(windows)) => {
-                    for w in 0..windows {
-                        let chunk: &[TraceOp] = mine
-                            .get(w * batch..)
-                            .map_or(&[], |rest| &rest[..rest.len().min(batch)]);
-                        let writes: Vec<Piece> = chunk
-                            .iter()
-                            .filter(|o| o.kind == TraceKind::Write)
-                            .map(|o| Piece::synthetic(o.offset, o.len))
-                            .collect();
-                        let reads: Vec<Span> = chunk
-                            .iter()
-                            .filter(|o| o.kind == TraceKind::Read)
-                            .map(|o| Span::new(o.offset, o.len))
-                            .collect();
-                        write_collective(&ctx.comm, &fh, writes)
-                            .await
-                            .expect("collective writes");
-                        read_collective(&ctx.comm, &fh, reads)
-                            .await
-                            .expect("collective reads");
-                    }
-                }
-                _ => {
-                    for op in &mine {
-                        fh.seek(op.offset).await;
-                        match op.kind {
-                            TraceKind::Read => fh.read_discard(op.len).await.expect("replay read"),
-                            TraceKind::Write => {
-                                fh.write_discard(op.len).await.expect("replay write")
-                            }
-                        }
-                    }
-                }
-            }
-            ctx.comm.barrier().await;
-            fh.close().await;
-        })
-    })
 }
 
 /// Synthesize a strided checkpoint-style trace: `ranks` ranks each
@@ -328,6 +164,22 @@ mod tests {
         let ops = parse_trace("# header\n\n0 w 0 10 # trailing\n\n1 r 10 5\n").unwrap();
         assert_eq!(ops.len(), 2);
         assert_eq!(ops[1].kind, TraceKind::Read);
+    }
+
+    #[test]
+    fn parse_tolerates_crlf_and_tab_separators() {
+        let unix = parse_trace("0 w 0 10\n1 r 10 5\n").unwrap();
+        let crlf = parse_trace("0 w 0 10\r\n1 r 10 5\r\n").unwrap();
+        let tabs = parse_trace("0\tw\t0\t10\n1\tr\t10\t5\n").unwrap();
+        assert_eq!(unix, crlf);
+        assert_eq!(unix, tabs);
+    }
+
+    #[test]
+    fn parse_error_is_std_error() {
+        let err = parse_trace("0 q 0 1\n").unwrap_err();
+        let e: &dyn std::error::Error = &err;
+        assert!(e.to_string().contains("trace line 1"));
     }
 
     #[test]

@@ -441,6 +441,23 @@ impl DataPlaneTiming {
     }
 }
 
+/// One timed workload-subsystem run: the committed sample trace
+/// replayed in one mode, or an open-loop generator point.
+#[derive(Clone, Debug)]
+pub struct WorkloadTiming {
+    pub name: &'static str,
+    pub wall: Duration,
+    /// Data operations completed in the simulation.
+    pub ops: u64,
+    /// Latency samples recorded. A zero here means the replay engine
+    /// moved data without measuring it — the gate must catch that.
+    pub lat_count: u64,
+    /// p99 operation latency in virtual milliseconds.
+    pub p99_ms: f64,
+    /// Virtual throughput: replay ops/s, or open-loop achieved rate.
+    pub achieved_ops_s: f64,
+}
+
 /// The full wall-clock report.
 #[derive(Clone, Debug)]
 pub struct WallclockReport {
@@ -452,12 +469,21 @@ pub struct WallclockReport {
     pub ping: StormPair,
     pub apps: Vec<AppTiming>,
     pub data_plane: Vec<DataPlaneTiming>,
+    pub workload: Vec<WorkloadTiming>,
     pub repro: Vec<ReproTiming>,
     pub total_wall: Duration,
 }
 
 /// The five timed applications, in report order.
 const APP_NAMES: [&str; 5] = ["scf11", "scf30", "fft", "btio", "ast"];
+
+/// The workload-subsystem entries, in report order.
+const WORKLOAD_NAMES: [&str; 4] = [
+    "replay_direct",
+    "replay_list",
+    "replay_twophase",
+    "openloop_poisson",
+];
 
 fn run_app_by_name(name: &str, scale: f64) -> iosim_apps::RunResult {
     use iosim_apps::{ast, btio, fft, scf11, scf30};
@@ -606,6 +632,53 @@ pub fn time_repro(scale: f64) -> Vec<ReproTiming> {
     })
 }
 
+/// Time the workload subsystem: the committed sample op-stream trace
+/// replayed in all three modes, plus one open-loop generator point.
+/// Every entry must record a non-empty latency histogram — this is the
+/// machine-readable half of the `verify.sh` replay smoke gate.
+pub fn time_workload() -> Vec<WorkloadTiming> {
+    use iosim_machine::presets;
+    use iosim_workload::{parse_any, replay, run_open_loop, ReplaySpec, SynthSpec};
+
+    const SAMPLE: &str = include_str!("../../../tests/data/sample_opstream.trace");
+    let stream = parse_any(SAMPLE, 42).expect("committed sample trace parses");
+    let machine = || presets::paragon_small().with_compute_nodes(stream.ranks().max(1));
+    let specs: [(&str, ReplaySpec); 3] = [
+        ("replay_direct", ReplaySpec::direct(machine())),
+        ("replay_list", ReplaySpec::list_io(machine(), 8)),
+        ("replay_twophase", ReplaySpec::two_phase(machine(), 8)),
+    ];
+    let mut out: Vec<WorkloadTiming> = specs
+        .iter()
+        .map(|(name, spec)| {
+            let t0 = Instant::now();
+            let rep = replay(&stream, spec);
+            WorkloadTiming {
+                name,
+                wall: t0.elapsed(),
+                ops: rep.data_ops,
+                lat_count: rep.latency.count(),
+                p99_ms: rep.latency.p99() as f64 / 1e6,
+                achieved_ops_s: rep.ops_per_sec(),
+            }
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut synth = SynthSpec::small(4.0, 42);
+    synth.clients = 16;
+    synth.duration = SimDuration::from_secs_f64(0.5);
+    let ol = run_open_loop(&synth, &ReplaySpec::direct(presets::paragon_small()));
+    out.push(WorkloadTiming {
+        name: "openloop_poisson",
+        wall: t0.elapsed(),
+        ops: ol.completed_ops,
+        lat_count: ol.latency.count(),
+        p99_ms: ol.latency.p99() as f64 / 1e6,
+        achieved_ops_s: ol.achieved_rate,
+    });
+    out
+}
+
 /// Run the whole wall-clock suite.
 pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
     let cfg = if smoke {
@@ -642,6 +715,8 @@ pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
     let apps = time_apps(if smoke { 0.02 } else { 0.1 });
     eprintln!("[wallclock] data plane (stored-mode byte accounting)");
     let data_plane = time_data_plane();
+    eprintln!("[wallclock] workload replay + open loop");
+    let workload = time_workload();
     eprintln!("[wallclock] repro suite at scale {scale}");
     let repro = time_repro(scale);
     WallclockReport {
@@ -653,6 +728,7 @@ pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
         ping,
         apps,
         data_plane,
+        workload,
         repro,
         total_wall: t0.elapsed(),
     }
@@ -676,7 +752,7 @@ fn write_storm(out: &mut String, name: &str, pair: &StormPair) {
 pub fn emit_json(r: &WallclockReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v2\",");
+    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v3\",");
     let _ = writeln!(out, "  \"smoke\": {},", r.smoke);
     let _ = writeln!(out, "  \"scale\": {},", r.scale);
     out.push_str("  \"microbench\": {\n");
@@ -715,6 +791,21 @@ pub fn emit_json(r: &WallclockReport) -> String {
             d.baseline_bytes_copied,
             d.copy_reduction(),
             if k + 1 < r.data_plane.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"workload\": {\n");
+    for (k, w) in r.workload.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{\"wall_s\": {:.6}, \"ops\": {}, \"lat_count\": {}, \"p99_ms\": {:.3}, \"achieved_ops_s\": {:.3}}}{}",
+            w.name,
+            w.wall.as_secs_f64(),
+            w.ops,
+            w.lat_count,
+            w.p99_ms,
+            w.achieved_ops_s,
+            if k + 1 < r.workload.len() { "," } else { "" },
         );
     }
     out.push_str("  },\n");
@@ -925,13 +1016,15 @@ fn check_count(v: Option<&Json>, what: &str) -> Result<f64, String> {
 
 /// Validate a `BENCH_wallclock.json` document: schema marker, the four
 /// microbench storms with both executor arms, all five apps, the
-/// data-plane byte accounting (counters present and non-trivial), and
-/// every repro suite key. All wall times must be finite and
-/// non-negative. Returns a description of the first problem found.
+/// data-plane byte accounting (counters present and non-trivial), the
+/// workload-subsystem section (sample-trace replays and an open-loop
+/// point, each with a non-empty latency histogram), and every repro
+/// suite key. All wall times must be finite and non-negative. Returns a
+/// description of the first problem found.
 pub fn validate(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
     match v.get("schema") {
-        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v2" => {}
+        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v3" => {}
         other => return Err(format!("bad schema field: {other:?}")),
     }
     let micro = v.get("microbench").ok_or("missing microbench")?;
@@ -982,6 +1075,26 @@ pub fn validate(doc: &str) -> Result<(), String> {
     }
     if total_alloc == 0.0 {
         return Err("data_plane: all byte counters are zero (tally not wired?)".into());
+    }
+    let wl = v.get("workload").ok_or("missing workload")?;
+    for name in WORKLOAD_NAMES {
+        let w = wl
+            .get(name)
+            .ok_or_else(|| format!("missing workload.{name}"))?;
+        check_wall(w.get("wall_s"), &format!("workload.{name}.wall_s"))?;
+        let ops = check_count(w.get("ops"), &format!("workload.{name}.ops"))?;
+        if ops == 0.0 {
+            return Err(format!("workload.{name}: zero operations replayed"));
+        }
+        let lat = check_count(w.get("lat_count"), &format!("workload.{name}.lat_count"))?;
+        if lat == 0.0 {
+            return Err(format!("workload.{name}: empty latency histogram"));
+        }
+        for field in ["p99_ms", "achieved_ops_s"] {
+            if !matches!(w.get(field), Some(Json::Num(n)) if n.is_finite() && *n >= 0.0) {
+                return Err(format!("workload.{name}.{field}: bad or missing"));
+            }
+        }
     }
     let repro = v.get("repro").ok_or("missing repro")?;
     for id in experiments::IDS {
@@ -1034,6 +1147,17 @@ pub fn render_summary(r: &WallclockReport) -> String {
             d.bytes_copied,
             d.baseline_bytes_copied,
             d.copy_reduction(),
+        );
+    }
+    for w in &r.workload {
+        let _ = writeln!(
+            out,
+            "  workload {:>16}: {:>7.1} ms host, {:>5} ops, p99 {:>8.1} ms, {:>7.1} ops/s",
+            w.name,
+            w.wall.as_secs_f64() * 1e3,
+            w.ops,
+            w.p99_ms,
+            w.achieved_ops_s,
         );
     }
     let repro_total: f64 = r.repro.iter().map(|t| t.wall.as_secs_f64()).sum();
@@ -1127,9 +1251,46 @@ mod tests {
     #[test]
     fn validate_rejects_missing_keys() {
         assert!(validate("{}").is_err());
+        // Old schema generations are rejected outright.
         assert!(validate("{\"schema\": \"iosim-bench-wallclock-v1\"}").is_err());
         assert!(validate("{\"schema\": \"iosim-bench-wallclock-v2\"}").is_err());
+        // Current schema but no sections.
+        assert!(validate("{\"schema\": \"iosim-bench-wallclock-v3\"}").is_err());
         assert!(parse_json("{bad").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_latency_histogram() {
+        let report = run_suite(true, 0.02);
+        let doc = emit_json(&report);
+        let direct = report
+            .workload
+            .iter()
+            .find(|w| w.name == "replay_direct")
+            .expect("replay_direct present");
+        assert!(direct.lat_count > 0);
+        let broken = doc.replacen(
+            &format!("\"lat_count\": {}", direct.lat_count),
+            "\"lat_count\": 0",
+            1,
+        );
+        assert!(validate(&broken)
+            .unwrap_err()
+            .contains("empty latency histogram"));
+    }
+
+    #[test]
+    fn workload_section_replays_the_committed_sample() {
+        let wl = time_workload();
+        assert_eq!(wl.len(), WORKLOAD_NAMES.len());
+        for (w, name) in wl.iter().zip(WORKLOAD_NAMES) {
+            assert_eq!(w.name, name);
+            assert!(w.lat_count > 0, "{name}: empty latency histogram");
+            assert!(w.achieved_ops_s > 0.0, "{name}: no throughput");
+        }
+        // The three replay modes move the same committed trace: same op
+        // count each, and the sample has 14 data ops.
+        assert!(wl[..3].iter().all(|w| w.ops == 14));
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod queue;
 pub mod report;
 
 pub use cache::{CacheCounters, CacheSnapshot};
-pub use hist::SizeHistogram;
+pub use hist::{LatencyHistogram, SizeHistogram};
 pub use listio::{ListIoCounters, ListIoSnapshot};
 pub use queue::{QueueCounters, QueueSnapshot};
 

@@ -1,0 +1,190 @@
+//! Open-loop arrival processes.
+//!
+//! An open-loop client issues its k-th request at a scheduled instant
+//! regardless of whether earlier requests have completed — the defining
+//! property of offered-load studies ("Problems in Modern High Performance
+//! Parallel I/O Systems", PAPERS.md: overload behaviour, not fixed-rank
+//! runs, is where parallel I/O stacks break). Two processes are modelled:
+//!
+//! - **Poisson**: exponential inter-arrival gaps at a constant rate.
+//! - **Bursty**: an on/off-modulated Poisson process (a 2-state MMPP).
+//!   The source alternates between exponentially-distributed ON periods,
+//!   during which it emits at `on_rate`, and OFF periods emitting
+//!   nothing. Mean rate = `on_rate · E[on] / (E[on] + E[off])`.
+//!
+//! Draws come from a [`SimRng`] stream, so an arrival schedule is
+//! bit-deterministic for a fixed seed.
+
+use iosim_simkit::rng::SimRng;
+use iosim_simkit::time::SimDuration;
+
+/// An open-loop arrival process (per client).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalModel {
+    /// Poisson arrivals at `rate` requests per simulated second.
+    Poisson {
+        /// Mean arrival rate (req/s).
+        rate: f64,
+    },
+    /// On/off-modulated Poisson: `on_rate` req/s while ON; ON and OFF
+    /// period lengths are exponential with the given means (seconds).
+    Bursty {
+        /// Arrival rate during ON periods (req/s).
+        on_rate: f64,
+        /// Mean ON-period length (s).
+        mean_on: f64,
+        /// Mean OFF-period length (s).
+        mean_off: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Long-run mean arrival rate in requests per second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalModel::Poisson { rate } => rate,
+            ArrivalModel::Bursty {
+                on_rate,
+                mean_on,
+                mean_off,
+            } => on_rate * mean_on / (mean_on + mean_off),
+        }
+    }
+
+    /// Scale the process to a new mean rate, preserving its shape (for
+    /// bursty processes the on/off cadence is kept and only `on_rate`
+    /// scales).
+    pub fn with_mean_rate(&self, rate: f64) -> ArrivalModel {
+        match *self {
+            ArrivalModel::Poisson { .. } => ArrivalModel::Poisson { rate },
+            ArrivalModel::Bursty {
+                mean_on, mean_off, ..
+            } => ArrivalModel::Bursty {
+                on_rate: rate * (mean_on + mean_off) / mean_on,
+                mean_on,
+                mean_off,
+            },
+        }
+    }
+
+    /// Generate every arrival instant in `[0, horizon)`, in order.
+    pub fn arrivals(&self, rng: &mut SimRng, horizon: SimDuration) -> Vec<SimDuration> {
+        let horizon_s = horizon.as_secs_f64();
+        let mut out = Vec::new();
+        match *self {
+            ArrivalModel::Poisson { rate } => {
+                if rate <= 0.0 {
+                    return out;
+                }
+                let mut t = rng.exp(rate);
+                while t < horizon_s {
+                    out.push(SimDuration::from_secs_f64(t));
+                    t += rng.exp(rate);
+                }
+            }
+            ArrivalModel::Bursty {
+                on_rate,
+                mean_on,
+                mean_off,
+            } => {
+                assert!(mean_on > 0.0 && mean_off >= 0.0, "bad on/off means");
+                if on_rate <= 0.0 {
+                    return out;
+                }
+                // Alternate ON/OFF; arrivals only during ON windows.
+                let mut t = 0.0f64;
+                let mut on = true; // sources start hot; the first window jitters anyway
+                while t < horizon_s {
+                    if on {
+                        let window = rng.exp(1.0 / mean_on);
+                        let end = (t + window).min(horizon_s);
+                        let mut a = t + rng.exp(on_rate);
+                        while a < end {
+                            out.push(SimDuration::from_secs_f64(a));
+                            a += rng.exp(on_rate);
+                        }
+                        t += window;
+                    } else if mean_off > 0.0 {
+                        t += rng.exp(1.0 / mean_off);
+                    }
+                    on = !on;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(model: ArrivalModel, seed: u64, secs: f64) -> usize {
+        let mut rng = SimRng::seed_from(seed);
+        model
+            .arrivals(&mut rng, SimDuration::from_secs_f64(secs))
+            .len()
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let n = count(ArrivalModel::Poisson { rate: 100.0 }, 1, 50.0);
+        // 5000 expected; 4 sigma ≈ 283.
+        assert!((4600..5400).contains(&n), "poisson count {n}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_deterministic() {
+        let model = ArrivalModel::Bursty {
+            on_rate: 200.0,
+            mean_on: 0.1,
+            mean_off: 0.3,
+        };
+        let mut r1 = SimRng::seed_from(9);
+        let mut r2 = SimRng::seed_from(9);
+        let a = model.arrivals(&mut r1, SimDuration::from_secs_f64(20.0));
+        let b = model.arrivals(&mut r2, SimDuration::from_secs_f64(20.0));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bursty_mean_rate_matches_formula() {
+        let model = ArrivalModel::Bursty {
+            on_rate: 400.0,
+            mean_on: 0.1,
+            mean_off: 0.3,
+        };
+        assert!((model.mean_rate() - 100.0).abs() < 1e-9);
+        let n = count(model, 3, 100.0);
+        // 10_000 expected; bursty variance is higher, allow ±25%.
+        assert!((7_500..12_500).contains(&n), "bursty count {n}");
+    }
+
+    #[test]
+    fn with_mean_rate_rescales_preserving_shape() {
+        let m = ArrivalModel::Bursty {
+            on_rate: 400.0,
+            mean_on: 0.1,
+            mean_off: 0.3,
+        };
+        let m2 = m.with_mean_rate(50.0);
+        assert!((m2.mean_rate() - 50.0).abs() < 1e-9);
+        match m2 {
+            ArrivalModel::Bursty {
+                mean_on, mean_off, ..
+            } => {
+                assert_eq!((mean_on, mean_off), (0.1, 0.3));
+            }
+            _ => panic!("shape changed"),
+        }
+        let p = ArrivalModel::Poisson { rate: 10.0 }.with_mean_rate(5.0);
+        assert!((p.mean_rate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_emits_nothing() {
+        assert_eq!(count(ArrivalModel::Poisson { rate: 0.0 }, 1, 10.0), 0);
+    }
+}

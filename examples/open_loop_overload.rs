@@ -1,0 +1,68 @@
+//! Drive the simulated file system with an open-loop bursty traffic
+//! generator and sweep the offered rate through saturation — the
+//! overload behaviour closed-loop applications can never show, because
+//! a closed loop slows its own arrivals down when the disks fall
+//! behind.
+//!
+//! Sweeps an on/off-modulated Poisson arrival process over a rate
+//! ladder, prints the offered-vs-achieved curve with p99 latency, and
+//! locates the saturation knee (the first point where achieved
+//! throughput falls below 90% of offered).
+//!
+//! ```text
+//! cargo run --release --example open_loop_overload
+//! ```
+
+use iosim::machine::presets;
+use iosim::simkit::time::SimDuration;
+use iosim::workload::{run_open_loop, saturation_knee, ArrivalModel, ReplaySpec, SynthSpec};
+
+fn main() {
+    // 32 clients, bursty arrivals: 100 ms ON spurts, 300 ms silences.
+    let bursty = ArrivalModel::Bursty {
+        on_rate: 0.0, // scaled per sweep point via with_mean_rate
+        mean_on: 0.1,
+        mean_off: 0.3,
+    };
+    let spec = ReplaySpec::direct(presets::paragon_small());
+    println!("open-loop bursty sweep on {}:", spec.machine.name);
+    println!(
+        "{:>14} {:>14} {:>10} {:>12}",
+        "offered op/s", "achieved op/s", "ratio", "p99 (ms)"
+    );
+
+    let mut points = Vec::new();
+    for rate in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut synth = SynthSpec::small(rate, 7);
+        synth.clients = 32;
+        synth.duration = SimDuration::from_secs_f64(2.0);
+        synth.arrival = bursty.with_mean_rate(rate);
+        synth.op_bytes = 32 << 10;
+        synth.fragments = 4;
+        let rep = run_open_loop(&synth, &spec);
+        let p = rep.sweep_point();
+        println!(
+            "{:>14.1} {:>14.1} {:>10.2} {:>12.1}",
+            p.offered,
+            p.achieved,
+            rep.overload_ratio(),
+            p.p99_ms,
+        );
+        points.push(p);
+    }
+
+    match saturation_knee(&points) {
+        Some(k) => println!(
+            "\nsaturation knee at ~{:.0} ops/s offered: beyond it the system completes \
+             ~{:.0} ops/s no matter what is offered, and p99 grows without bound",
+            points[k].offered,
+            points.last().unwrap().achieved,
+        ),
+        None => println!("\nno saturation knee inside the sweep — raise the rate ladder"),
+    }
+    println!(
+        "(bursts make the knee earlier than the mean rate suggests: the ON spurts \
+         arrive at {:.0}x the mean)",
+        (0.1f64 + 0.3) / 0.1,
+    );
+}

@@ -29,6 +29,7 @@ fn main() {
         "btio" => run_btio(&opts),
         "ast" => run_ast(&opts),
         "replay" => run_replay(&opts),
+        "synth" => run_synth(&opts),
         "--help" | "-h" | "help" => {
             usage();
             return;
@@ -200,38 +201,118 @@ fn run_ast(o: &Opts) -> RunResult {
     ast::run(&cfg)
 }
 
-fn run_replay(o: &Opts) -> RunResult {
-    use iosim::apps::replay;
-    let path = o.str_or("trace", "");
-    if path.is_empty() {
-        die("replay needs --trace FILE");
-    }
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-    let ops = replay::parse_trace(&text).unwrap_or_else(|e| die(&e.to_string()));
-    let machine = match o.str_or("machine", "sp2") {
+fn machine_preset(o: &Opts) -> iosim::machine::MachineConfig {
+    match o.str_or("machine", "sp2") {
         "sp2" => iosim::machine::presets::sp2(),
         "paragon" => iosim::machine::presets::paragon_large(),
         "paragon-small" => iosim::machine::presets::paragon_small(),
         other => die(&format!("unknown machine '{other}'")),
     }
-    .with_compute_nodes(replay::ranks_of(&ops).max(1));
-    let batch: usize = o.get("collective", 0);
-    let cfg = if batch > 0 {
-        replay::ReplayConfig::collective(machine, batch)
+}
+
+/// `--mode` plus batching flags into a [`workload::ReplaySpec`] builder.
+fn replay_spec(
+    o: &Opts,
+    machine: iosim::machine::MachineConfig,
+) -> iosim::workload::engine::ReplaySpec {
+    use iosim::workload::engine::ReplaySpec;
+    // `--collective BATCH` is the original spelling of two-phase mode.
+    let collective: usize = o.get("collective", 0);
+    let batch: usize = o.get("batch", 32);
+    let mode = if collective > 0 {
+        "twophase"
     } else {
-        replay::ReplayConfig::direct(machine)
+        o.str_or("mode", "direct")
     };
+    match mode {
+        "direct" => ReplaySpec::direct(machine),
+        "list" | "listio" => ReplaySpec::list_io(machine, batch),
+        "twophase" | "two-phase" | "collective" => {
+            ReplaySpec::two_phase(machine, if collective > 0 { collective } else { batch })
+        }
+        other => die(&format!("unknown mode '{other}' (direct|list|twophase)")),
+    }
+}
+
+fn run_replay(o: &Opts) -> RunResult {
+    use iosim::workload;
+    let path = o.str_or("trace", "");
+    if path.is_empty() {
+        die("replay needs --trace FILE");
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let stream =
+        workload::parse_any(&text, o.get("seed", 42)).unwrap_or_else(|e| die(&e.to_string()));
+    let machine = machine_preset(o).with_compute_nodes(stream.ranks().max(1));
+    let spec = replay_spec(o, machine);
     eprintln!(
-        "replaying {} ops across {} ranks ({})",
-        ops.len(),
-        replay::ranks_of(&ops),
-        if batch > 0 {
-            format!("two-phase, batch {batch}")
+        "replaying {} ops ({} data ops) across {} ranks, {:?} mode",
+        stream.ops.len(),
+        stream.data_ops(),
+        stream.ranks(),
+        spec.mode,
+    );
+    let report = workload::replay(&stream, &spec);
+    println!("{}", report.latency.render_line());
+    println!(
+        "replay rate    : {:.1} ops/s (virtual)",
+        report.ops_per_sec()
+    );
+    report.stats.into()
+}
+
+fn run_synth(o: &Opts) -> RunResult {
+    use iosim::workload::{ArrivalModel, SynthSpec};
+    let rate: f64 = o.get("rate", 20.0);
+    let arrival = if o.flag("bursty") {
+        ArrivalModel::Bursty {
+            on_rate: rate,
+            mean_on: o.get("mean-on", 0.1),
+            mean_off: o.get("mean-off", 0.3),
+        }
+        .with_mean_rate(rate)
+    } else {
+        ArrivalModel::Poisson { rate }
+    };
+    let synth = SynthSpec {
+        clients: o.get("clients", 64),
+        duration: iosim::simkit::time::SimDuration::from_secs_f64(o.get("duration", 1.0)),
+        arrival,
+        read_frac: o.get("read-frac", 0.5),
+        op_bytes: o.get("op-kb", 64u64) << 10,
+        fragments: o.get("fragments", 8),
+        files: o.get("files", 4),
+        file_bytes: o.get("file-mb", 64u64) << 20,
+        seed: o.get("seed", 42),
+    };
+    let mut machine = machine_preset(o);
+    machine = iosim::apps::common::with_cache_mb(machine, o.get("cache", 0));
+    machine = iosim::apps::common::with_queue_depth(machine, o.get("queue-depth", 1));
+    let spec = replay_spec(o, machine);
+    eprintln!(
+        "open-loop: {} clients offering {:.0} ops/s for {}, {:?} mode",
+        synth.clients,
+        synth.offered_ops_per_sec(),
+        synth.duration,
+        spec.mode,
+    );
+    let report = iosim::workload::run_open_loop(&synth, &spec);
+    println!("{}", report.latency.render_line());
+    println!(
+        "offered        : {:.1} ops/s ({} ops)",
+        report.offered_rate, report.offered_ops
+    );
+    println!(
+        "achieved       : {:.1} ops/s (ratio {:.2}{})",
+        report.achieved_rate,
+        report.overload_ratio(),
+        if report.overload_ratio() < 0.9 {
+            ", past the saturation knee"
         } else {
-            "direct".into()
+            ""
         }
     );
-    replay::replay(&ops, &cfg)
+    report.stats.into()
 }
 
 fn print_result(r: &RunResult) {
@@ -285,7 +366,12 @@ fn usage() {
          fft:   --n N --mem-mb N\n\
          btio:  --class a|b|N --dumps N --verify\n\
          ast:   --grid N --arrays N --dumps N --restart\n\
-         replay: --trace FILE [--collective BATCH] [--machine sp2|paragon|paragon-small]"
+         replay: --trace FILE [--mode direct|list|twophase] [--batch N] [--seed N]\n\
+         \x20       [--machine sp2|paragon|paragon-small]  (--collective BATCH = legacy twophase)\n\
+         \x20       trace formats: legacy 4-column, #iosim opstream, #iosim darshan (auto-detected)\n\
+         synth: --clients N --rate R [--bursty --mean-on S --mean-off S] --duration S\n\
+         \x20      --read-frac F --op-kb N --fragments N --files N --file-mb N --seed N\n\
+         \x20      [--mode direct|list|twophase] [--batch N] [--cache MB] [--queue-depth N]"
     );
 }
 

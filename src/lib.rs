@@ -18,6 +18,8 @@
 //! - [`optim`] — the I/O optimization runtime (the paper's subject)
 //! - [`trace`] — Pablo-style instrumentation and report tables
 //! - [`apps`] — the five applications
+//! - [`workload`] — trace ingestion, open-loop traffic generation, and
+//!   the replay engine ("bring your own workload")
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use iosim_msg as msg;
 pub use iosim_pfs as pfs;
 pub use iosim_simkit as simkit;
 pub use iosim_trace as trace;
+pub use iosim_workload as workload;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -54,5 +57,9 @@ pub mod prelude {
     pub use iosim_msg::{Comm, MatchSrc, Payload, World};
     pub use iosim_pfs::{CreateOptions, FileHandle, FileSystem, FsError, IoRequest};
     pub use iosim_simkit::prelude::*;
-    pub use iosim_trace::{OpKind, TraceCollector};
+    pub use iosim_trace::{LatencyHistogram, OpKind, TraceCollector};
+    pub use iosim_workload::{
+        parse_any, run_open_loop, saturation_knee, ArrivalModel, OpStream, ReplayMode, ReplaySpec,
+        SynthSpec,
+    };
 }

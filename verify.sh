@@ -22,12 +22,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 echo "== workspace tests =="
 cargo test -q --offline --workspace
 
+echo "== workload replay smoke (three modes over the committed sample) =="
+# Replays tests/data/sample_opstream.trace through every replay mode and
+# fails on a nonzero exit or an empty latency histogram: the engine must
+# both run the committed trace and actually measure per-op latency.
+for mode in direct list twophase; do
+  out="$(cargo run --release --offline -q --bin iosim -- \
+    replay --trace tests/data/sample_opstream.trace \
+    --machine paragon-small --mode "$mode" 2>&1)"
+  echo "$out" | grep -E "^latency: n=[1-9]" >/dev/null || {
+    echo "replay smoke ($mode): empty or missing latency histogram:"
+    echo "$out"
+    exit 1
+  }
+done
+
 echo "== bench wallclock smoke =="
-# Gate is "runs without panicking and emits a well-formed v2 document"
+# Gate is "runs without panicking and emits a well-formed v3 document"
 # — wall-clock timings are machine-dependent and never fail the build,
 # but `bench check` does fail on NaN/negative wall times, non-integer
-# counters, a missing data_plane section, or all-zero data-plane byte
-# tallies (which would mean the zero-copy accounting came unwired).
+# counters, a missing data_plane/workload section, all-zero data-plane
+# byte tallies (which would mean the zero-copy accounting came unwired),
+# or an empty workload latency histogram.
 # The smoke run writes under target/ so the committed trajectory file
 # (BENCH_wallclock.json) is left untouched; both are validated.
 cargo run --release --offline -p iosim-bench --bin bench -- \
