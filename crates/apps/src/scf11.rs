@@ -31,7 +31,9 @@ use iosim_machine::{presets, Interface};
 use iosim_pfs::{CreateOptions, IoRequest};
 use iosim_simkit::time::SimDuration;
 
-use crate::common::{run_ranks, AppCtx, RunResult};
+use crate::common::{
+    run_ranks, run_ranks_sharded, AppCtx, RankFuture, RunResult, ShardFinish, ShardProgram,
+};
 
 /// The paper's three representative inputs (number of basis functions N).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,9 +191,8 @@ const WRITE_CHUNK: u64 = 62 << 10;
 const EVAL_FRACTION: f64 = 0.30;
 const FLUSH_EVERY: u64 = 1000;
 
-/// Run SCF 1.1 under `cfg` and return the measurements.
-pub fn run(cfg: &Scf11Config) -> Scf11Result {
-    let mcfg = crate::common::with_queue_depth(
+fn machine(cfg: &Scf11Config) -> iosim_machine::MachineConfig {
+    crate::common::with_queue_depth(
         crate::common::with_cache_mb(
             presets::paragon_large()
                 .with_compute_nodes(cfg.procs.max(1))
@@ -200,7 +201,12 @@ pub fn run(cfg: &Scf11Config) -> Scf11Result {
             cfg.cache_mb,
         ),
         cfg.queue_depth,
-    );
+    )
+}
+
+/// Run SCF 1.1 under `cfg` and return the measurements.
+pub fn run(cfg: &Scf11Config) -> Scf11Result {
+    let mcfg = machine(cfg);
     let fg_io: Rc<RefCell<Vec<SimDuration>>> = Rc::new(RefCell::new(Vec::new()));
     let fg_io2 = Rc::clone(&fg_io);
     let cfg2 = cfg.clone();
@@ -216,6 +222,39 @@ pub fn run(cfg: &Scf11Config) -> Scf11Result {
         .borrow()
         .iter()
         .copied()
+        .fold(SimDuration::ZERO, SimDuration::max);
+    Scf11Result { run, fg_io_time }
+}
+
+/// Run SCF 1.1 on the sharded parallel engine (up to `workers` host
+/// threads; see [`crate::common::run_ranks_sharded`]). The foreground
+/// I/O time is the max across shards of each shard's slowest rank.
+pub fn run_threaded(cfg: &Scf11Config, workers: usize) -> Scf11Result {
+    let cfg2 = cfg.clone();
+    let (run, per_shard) = run_ranks_sharded(machine(cfg), cfg.procs, workers, move |_spec| {
+        let cfg = cfg2.clone();
+        let fg_io: Rc<RefCell<Vec<SimDuration>>> = Rc::new(RefCell::new(Vec::new()));
+        let fg2 = Rc::clone(&fg_io);
+        (
+            Box::new(move |ctx: AppCtx| -> RankFuture {
+                let cfg = cfg.clone();
+                let fg_io = Rc::clone(&fg2);
+                Box::pin(async move {
+                    let t = rank_program(ctx, cfg).await;
+                    fg_io.borrow_mut().push(t);
+                })
+            }) as ShardProgram,
+            Box::new(move || {
+                fg_io
+                    .borrow()
+                    .iter()
+                    .copied()
+                    .fold(SimDuration::ZERO, SimDuration::max)
+            }) as ShardFinish<SimDuration>,
+        )
+    });
+    let fg_io_time = per_shard
+        .into_iter()
         .fold(SimDuration::ZERO, SimDuration::max);
     Scf11Result { run, fg_io_time }
 }

@@ -26,7 +26,9 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = max_threads.max(1).min(n);
+    // `IOSIM_THREADS` pins the worker count regardless of what the caller
+    // asked for, so CI can make any sweep reproducible on any host.
+    let threads = env_threads().unwrap_or(max_threads).max(1).min(n);
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
@@ -74,11 +76,31 @@ impl<R> Copy for SendPtr<R> {}
 unsafe impl<R: Send> Send for SendPtr<R> {}
 unsafe impl<R: Send> Sync for SendPtr<R> {}
 
-/// A sensible default thread count for sweeps.
+/// Environment variable that pins the host thread count for sweeps and
+/// the sharded engine (CI uses it to make runs reproducible on any host).
+pub const THREADS_ENV: &str = "IOSIM_THREADS";
+
+/// A sensible default thread count for sweeps: the `IOSIM_THREADS`
+/// environment override when set to a positive integer, otherwise the
+/// host's available parallelism.
 pub fn default_threads() -> usize {
+    if let Some(n) = env_threads() {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// The `IOSIM_THREADS` override, if set to a positive integer. Unset,
+/// empty, zero, and unparsable values all mean "no override".
+pub fn env_threads() -> Option<usize> {
+    parse_threads(std::env::var(THREADS_ENV).ok())
+}
+
+fn parse_threads(raw: Option<String>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 #[cfg(test)]
@@ -122,6 +144,16 @@ mod tests {
         });
         assert_eq!(out, (0..101).map(|i| i * 3).collect::<Vec<_>>());
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some(String::new())), None);
+        assert_eq!(parse_threads(Some("0".into())), None);
+        assert_eq!(parse_threads(Some("garbage".into())), None);
+        assert_eq!(parse_threads(Some("1".into())), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ".into())), Some(8));
     }
 
     /// One item is ~an order of magnitude slower than the rest combined.

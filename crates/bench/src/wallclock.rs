@@ -458,6 +458,15 @@ pub struct WorkloadTiming {
     pub achieved_ops_s: f64,
 }
 
+/// One workload's thread ladder in the `shard_scaling` section.
+#[derive(Clone, Debug)]
+pub struct ShardScalingSeries {
+    pub name: &'static str,
+    /// One sample per entry of [`experiments::extensions::SHARD_THREADS`],
+    /// in ladder order.
+    pub samples: Vec<experiments::extensions::ShardRunSample>,
+}
+
 /// The full wall-clock report.
 #[derive(Clone, Debug)]
 pub struct WallclockReport {
@@ -470,6 +479,11 @@ pub struct WallclockReport {
     pub apps: Vec<AppTiming>,
     pub data_plane: Vec<DataPlaneTiming>,
     pub workload: Vec<WorkloadTiming>,
+    /// Sharded-engine thread ladder (extension 11's measurement, recorded
+    /// per host). Throughput ratios are honest for `host_cores`.
+    pub shard_scaling: Vec<ShardScalingSeries>,
+    /// CPU cores of the host that produced the timings.
+    pub host_cores: usize,
     pub repro: Vec<ReproTiming>,
     pub total_wall: Duration,
 }
@@ -679,6 +693,24 @@ pub fn time_workload() -> Vec<WorkloadTiming> {
     out
 }
 
+/// Time extension 11's shard-scaling ladder: every workload at every
+/// host-thread count, in ladder order. Runs serially (not through
+/// `map_parallel`) so each sample's wall time is unpolluted by sibling
+/// simulations competing for the same cores.
+pub fn time_shard_scaling() -> Vec<ShardScalingSeries> {
+    use experiments::extensions::{run_shard_scaling_config, SHARD_SCALING_NAMES, SHARD_THREADS};
+    SHARD_SCALING_NAMES
+        .iter()
+        .map(|&name| ShardScalingSeries {
+            name,
+            samples: SHARD_THREADS
+                .iter()
+                .map(|&t| run_shard_scaling_config(name, t))
+                .collect(),
+        })
+        .collect()
+}
+
 /// Run the whole wall-clock suite.
 pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
     let cfg = if smoke {
@@ -717,6 +749,8 @@ pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
     let data_plane = time_data_plane();
     eprintln!("[wallclock] workload replay + open loop");
     let workload = time_workload();
+    eprintln!("[wallclock] shard scaling (threads ladder)");
+    let shard_scaling = time_shard_scaling();
     eprintln!("[wallclock] repro suite at scale {scale}");
     let repro = time_repro(scale);
     WallclockReport {
@@ -729,6 +763,10 @@ pub fn run_suite(smoke: bool, scale: f64) -> WallclockReport {
         apps,
         data_plane,
         workload,
+        shard_scaling,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         repro,
         total_wall: t0.elapsed(),
     }
@@ -752,7 +790,7 @@ fn write_storm(out: &mut String, name: &str, pair: &StormPair) {
 pub fn emit_json(r: &WallclockReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v3\",");
+    let _ = writeln!(out, "  \"schema\": \"iosim-bench-wallclock-v4\",");
     let _ = writeln!(out, "  \"smoke\": {},", r.smoke);
     let _ = writeln!(out, "  \"scale\": {},", r.scale);
     out.push_str("  \"microbench\": {\n");
@@ -806,6 +844,36 @@ pub fn emit_json(r: &WallclockReport) -> String {
             w.p99_ms,
             w.achieved_ops_s,
             if k + 1 < r.workload.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"shard_scaling\": {\n");
+    let _ = writeln!(out, "    \"host_cores\": {},", r.host_cores);
+    for (k, s) in r.shard_scaling.iter().enumerate() {
+        let _ = writeln!(out, "    \"{}\": [", s.name);
+        for (j, p) in s.samples.iter().enumerate() {
+            // Fingerprints are 64-bit and exceed f64 integer precision,
+            // so they travel as hex strings.
+            let _ = writeln!(
+                out,
+                "      {{\"threads\": {}, \"wall_s\": {:.6}, \"sim_events\": {}, \"events_per_sec\": {:.1}, \"virtual_exec_s\": {:.6}, \"fingerprint\": \"{:#018x}\"}}{}",
+                p.threads,
+                p.wall.as_secs_f64(),
+                p.sim_events,
+                p.events_per_sec,
+                p.virtual_exec_s,
+                p.fingerprint,
+                if j + 1 < s.samples.len() { "," } else { "" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    ]{}",
+            if k + 1 < r.shard_scaling.len() {
+                ","
+            } else {
+                ""
+            },
         );
     }
     out.push_str("  },\n");
@@ -1018,13 +1086,15 @@ fn check_count(v: Option<&Json>, what: &str) -> Result<f64, String> {
 /// microbench storms with both executor arms, all five apps, the
 /// data-plane byte accounting (counters present and non-trivial), the
 /// workload-subsystem section (sample-trace replays and an open-loop
-/// point, each with a non-empty latency histogram), and every repro
-/// suite key. All wall times must be finite and non-negative. Returns a
-/// description of the first problem found.
+/// point, each with a non-empty latency histogram), the shard-scaling
+/// thread ladder (full ladder per workload, and a deterministic
+/// fingerprint: every thread count in a series must report the same
+/// one), and every repro suite key. All wall times must be finite and
+/// non-negative. Returns a description of the first problem found.
 pub fn validate(doc: &str) -> Result<(), String> {
     let v = parse_json(doc)?;
     match v.get("schema") {
-        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v3" => {}
+        Some(Json::Str(s)) if s == "iosim-bench-wallclock-v4" => {}
         other => return Err(format!("bad schema field: {other:?}")),
     }
     let micro = v.get("microbench").ok_or("missing microbench")?;
@@ -1096,6 +1166,57 @@ pub fn validate(doc: &str) -> Result<(), String> {
             }
         }
     }
+    let ss = v.get("shard_scaling").ok_or("missing shard_scaling")?;
+    match ss.get("host_cores") {
+        Some(Json::Num(n)) if n.is_finite() && *n >= 1.0 && n.fract() == 0.0 => {}
+        other => return Err(format!("shard_scaling.host_cores: {other:?}")),
+    }
+    for name in experiments::extensions::SHARD_SCALING_NAMES {
+        let series = match ss.get(name) {
+            Some(Json::Arr(items)) => items,
+            other => {
+                return Err(format!(
+                    "shard_scaling.{name}: expected array, got {other:?}"
+                ))
+            }
+        };
+        if series.len() != experiments::extensions::SHARD_THREADS.len() {
+            return Err(format!(
+                "shard_scaling.{name}: expected {} ladder points, got {}",
+                experiments::extensions::SHARD_THREADS.len(),
+                series.len()
+            ));
+        }
+        let mut fingerprint: Option<&str> = None;
+        for (p, want_threads) in series.iter().zip(experiments::extensions::SHARD_THREADS) {
+            let what = format!("shard_scaling.{name}[threads={want_threads}]");
+            match p.get("threads") {
+                Some(Json::Num(n)) if *n == want_threads as f64 => {}
+                other => return Err(format!("{what}.threads: {other:?}")),
+            }
+            check_wall(p.get("wall_s"), &format!("{what}.wall_s"))?;
+            if check_count(p.get("sim_events"), &format!("{what}.sim_events"))? == 0.0 {
+                return Err(format!("{what}: zero simulation events"));
+            }
+            for field in ["events_per_sec", "virtual_exec_s"] {
+                if !matches!(p.get(field), Some(Json::Num(n)) if n.is_finite() && *n >= 0.0) {
+                    return Err(format!("{what}.{field}: bad or missing"));
+                }
+            }
+            // Determinism gate: the whole ladder must agree on one
+            // fingerprint — a thread-count-dependent schedule is a bug.
+            match (p.get("fingerprint"), fingerprint) {
+                (Some(Json::Str(f)), None) => fingerprint = Some(f),
+                (Some(Json::Str(f)), Some(first)) if f == first => {}
+                (Some(Json::Str(f)), Some(first)) => {
+                    return Err(format!(
+                        "shard_scaling.{name}: fingerprint diverges across threads ({first} vs {f})"
+                    ));
+                }
+                (other, _) => return Err(format!("{what}.fingerprint: {other:?}")),
+            }
+        }
+    }
     let repro = v.get("repro").ok_or("missing repro")?;
     for id in experiments::IDS {
         let e = repro.get(id).ok_or_else(|| format!("missing repro.{id}"))?;
@@ -1159,6 +1280,15 @@ pub fn render_summary(r: &WallclockReport) -> String {
             w.p99_ms,
             w.achieved_ops_s,
         );
+    }
+    let _ = writeln!(out, "  shard scaling ({}-core host):", r.host_cores);
+    for s in &r.shard_scaling {
+        let cells: Vec<String> = s
+            .samples
+            .iter()
+            .map(|p| format!("{}t {:.0} ev/s", p.threads, p.events_per_sec))
+            .collect();
+        let _ = writeln!(out, "    {:>18}: {}", s.name, cells.join(", "));
     }
     let repro_total: f64 = r.repro.iter().map(|t| t.wall.as_secs_f64()).sum();
     let holds = r.repro.iter().filter(|t| t.shape_holds).count();
@@ -1254,8 +1384,9 @@ mod tests {
         // Old schema generations are rejected outright.
         assert!(validate("{\"schema\": \"iosim-bench-wallclock-v1\"}").is_err());
         assert!(validate("{\"schema\": \"iosim-bench-wallclock-v2\"}").is_err());
-        // Current schema but no sections.
         assert!(validate("{\"schema\": \"iosim-bench-wallclock-v3\"}").is_err());
+        // Current schema but no sections.
+        assert!(validate("{\"schema\": \"iosim-bench-wallclock-v4\"}").is_err());
         assert!(parse_json("{bad").is_err());
     }
 
@@ -1310,6 +1441,17 @@ mod tests {
             );
         }
         assert!(validate(&zeroed).unwrap_err().contains("data_plane"));
+        // A shard-scaling ladder whose fingerprint changes with the
+        // thread count means the parallel engine is non-deterministic.
+        let fp = report.shard_scaling[0].samples[0].fingerprint;
+        let tampered = doc.replacen(
+            &format!("\"fingerprint\": \"{fp:#018x}\""),
+            &format!("\"fingerprint\": \"{:#018x}\"", fp ^ 1),
+            1,
+        );
+        assert!(validate(&tampered)
+            .unwrap_err()
+            .contains("fingerprint diverges"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod config;
 pub mod disk;
 pub mod machine;
 pub mod presets;
+pub mod shard;
 pub mod topology;
 
 pub use config::{
@@ -32,4 +33,5 @@ pub use config::{
 };
 pub use disk::{pick_command, CommandView, DiskGeometry, SchedDecision, STARVATION_BOUND};
 pub use machine::Machine;
+pub use shard::{ShardPlan, ShardSpec};
 pub use topology::{Coord, Topology};

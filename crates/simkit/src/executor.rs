@@ -348,6 +348,50 @@ impl Sim {
         }
         core.now.get()
     }
+    /// Run until the next pending event is at or after `horizon` (or no
+    /// event remains), and return that next event's time.
+    ///
+    /// Everything strictly before `horizon` executes exactly as [`Sim::run`]
+    /// would have executed it: the ready queue drains to quiescence and
+    /// same-instant timer batches pop in `(time, seq)` order, so a sequence
+    /// of `run_until` calls with increasing horizons produces the same
+    /// schedule — and the same [`Sim::schedule_fingerprint`] — as one
+    /// uninterrupted `run`. This is the primitive the sharded
+    /// conservative-lookahead engine ([`crate::shard`]) uses to advance each
+    /// shard through one synchronization window at a time.
+    ///
+    /// Returns `None` when the simulation is quiescent (no runnable task
+    /// and no pending timer), `Some(t)` with `t >= horizon` otherwise.
+    pub fn run_until(&mut self, horizon: SimTime) -> Option<SimTime> {
+        let core = &self.handle.core;
+        loop {
+            drain_ready(core);
+            let mut batch = core.timer_batch.borrow_mut();
+            {
+                let mut timers = core.timers.borrow_mut();
+                match timers.peek() {
+                    None => return None,
+                    Some(Reverse(e)) if e.time >= horizon => return Some(e.time),
+                    Some(_) => {}
+                }
+                let Reverse(first) = timers.pop().expect("peeked entry");
+                debug_assert!(first.time >= core.now.get());
+                core.now.set(first.time);
+                let instant = first.time;
+                batch.push(first.slot);
+                while timers.peek().is_some_and(|Reverse(e)| e.time == instant) {
+                    batch.push(timers.pop().expect("peeked entry").0.slot);
+                }
+            }
+            for slot in batch.drain(..) {
+                if let Some(w) = slot.take() {
+                    w.wake();
+                }
+                drain_ready(core);
+            }
+        }
+    }
+
     /// Run a single root future to completion and return its output along
     /// with the final virtual time. Panics if the future deadlocks (cannot
     /// complete before the event queue empties).
@@ -582,6 +626,18 @@ impl Drop for Sleep {
             self.handle.release_slot(slot);
         }
     }
+}
+
+/// Fold a sequence of per-shard schedule fingerprints into one combined
+/// fingerprint, using the same FNV-1a fold the per-sim fingerprint uses.
+/// The fold is order-sensitive; callers pass parts in shard-index order so
+/// the combined value is independent of host-thread interleaving.
+pub fn combine_fingerprints<I: IntoIterator<Item = u64>>(parts: I) -> u64 {
+    let mut acc = FNV_OFFSET;
+    for p in parts {
+        acc = fnv_fold(acc, p);
+    }
+    acc
 }
 
 /// Await `fut` with a virtual-time deadline: `Some(output)` if it

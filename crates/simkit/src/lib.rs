@@ -16,9 +16,13 @@
 //!   queue (per-server next-free instants), so a queued service costs one
 //!   timer event, and fan-out bookings ([`resource::Resource::reserve_at`])
 //!   cost none at all until the caller sleeps to the max completion.
-//! - **Single-threaded.** Sweeps over machine configurations parallelize
-//!   across whole [`executor::Sim`] instances on the host (each is
-//!   independent), not inside one.
+//! - **Single-threaded core, sharded parallelism on top.** One
+//!   [`executor::Sim`] is `!Send` and never migrates; sweeps over machine
+//!   configurations parallelize across whole `Sim` instances on the host.
+//!   For a *single* large simulation, [`shard::run_sharded`] runs one
+//!   `Sim` per model shard on its own host thread under a conservative
+//!   lookahead window protocol — virtual times stay bit-identical at any
+//!   worker count.
 //!
 //! ## Example
 //!
@@ -39,9 +43,11 @@
 //! assert_eq!(jh.try_take().unwrap(), SimTime::ZERO + SimDuration::from_millis(20));
 //! ```
 
+pub mod barrier;
 pub mod executor;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod sync;
 pub mod time;
 
@@ -50,6 +56,7 @@ pub mod prelude {
     pub use crate::executor::{join_all, with_timeout, JoinHandle, Sim, SimHandle};
     pub use crate::resource::{Resource, ResourceStats};
     pub use crate::rng::SimRng;
+    pub use crate::shard::{Envelope, Outbox, ShardCtx, ShardRuntime, ShardedReport};
     pub use crate::sync::{channel, Barrier, Event, Receiver, Semaphore, Sender, Turnstile};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -45,6 +45,19 @@ impl CacheSnapshot {
         *self == CacheSnapshot::default()
     }
 
+    /// Fold another snapshot into this one (field-wise sum), e.g. to
+    /// combine the per-shard caches of a sharded run.
+    pub fn merge(&mut self, other: &CacheSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.flushed_blocks += other.flushed_blocks;
+        self.flush_wakeups += other.flush_wakeups;
+        self.readahead_issued += other.readahead_issued;
+        self.readahead_hits += other.readahead_hits;
+        self.writes_absorbed += other.writes_absorbed;
+    }
+
     /// One-line rendering for run reports.
     pub fn render_line(&self) -> String {
         format!(

@@ -62,6 +62,14 @@ impl SizeHistogram {
         self.counts[Self::bucket_of(bytes)]
     }
 
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &SizeHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total_bytes += other.total_bytes;
+    }
+
     /// The median request size's bucket upper bound (0 if empty).
     pub fn median_bucket_bound(&self) -> u64 {
         let total = self.total_count();

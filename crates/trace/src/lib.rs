@@ -190,23 +190,7 @@ impl TraceCollector {
 
     /// I/O load-balance diagnostics across ranks.
     pub fn balance(&self) -> BalanceStats {
-        let times = self.per_rank_io_times();
-        if times.is_empty() {
-            return BalanceStats::default();
-        }
-        let max = times
-            .iter()
-            .copied()
-            .fold(SimDuration::ZERO, SimDuration::max);
-        let min = times.iter().copied().fold(max, SimDuration::min);
-        let sum: u64 = times.iter().map(|d| d.as_nanos()).sum();
-        let mean = SimDuration(sum / times.len() as u64);
-        BalanceStats {
-            ranks: times.len(),
-            min,
-            mean,
-            max,
-        }
+        BalanceStats::from_times(&self.per_rank_io_times())
     }
 
     /// Total bytes moved (reads + writes).
@@ -279,6 +263,27 @@ pub struct BalanceStats {
 }
 
 impl BalanceStats {
+    /// Balance statistics over per-rank cumulative I/O times (e.g. the
+    /// concatenated per-shard times of a sharded run).
+    pub fn from_times(times: &[SimDuration]) -> BalanceStats {
+        if times.is_empty() {
+            return BalanceStats::default();
+        }
+        let max = times
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
+        let min = times.iter().copied().fold(max, SimDuration::min);
+        let sum: u64 = times.iter().map(|d| d.as_nanos()).sum();
+        let mean = SimDuration(sum / times.len() as u64);
+        BalanceStats {
+            ranks: times.len(),
+            min,
+            mean,
+            max,
+        }
+    }
+
     /// The imbalance factor `max / mean` (1.0 when empty or perfectly
     /// balanced).
     pub fn imbalance(&self) -> f64 {
@@ -312,6 +317,19 @@ pub struct IoSummary {
 }
 
 impl IoSummary {
+    /// Fold another summary into this one row-wise. Both summaries must
+    /// carry the same kinds in the same (paper) order, which every
+    /// [`TraceCollector::summary`] does.
+    pub fn merge(&mut self, other: &IoSummary) {
+        assert_eq!(self.rows.len(), other.rows.len(), "summary shapes differ");
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            assert_eq!(a.kind, b.kind, "summary row order differs");
+            a.count += b.count;
+            a.time += b.time;
+            a.bytes += b.bytes;
+        }
+    }
+
     /// Total across all kinds.
     pub fn total(&self) -> SummaryRow {
         SummaryRow {

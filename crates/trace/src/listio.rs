@@ -49,6 +49,15 @@ impl ListIoSnapshot {
         *self == ListIoSnapshot::default()
     }
 
+    /// Fold another snapshot into this one (field-wise sum), e.g. to
+    /// combine the per-shard counters of a sharded run.
+    pub fn merge(&mut self, other: &ListIoSnapshot) {
+        self.requests += other.requests;
+        self.fragments += other.fragments;
+        self.coalesced_extents += other.coalesced_extents;
+        self.bytes += other.bytes;
+    }
+
     /// One-line rendering for run reports.
     pub fn render_line(&self) -> String {
         format!(

@@ -76,6 +76,20 @@ impl QueueSnapshot {
         *self == QueueSnapshot::default()
     }
 
+    /// Fold another snapshot into this one (field-wise sum, the depth
+    /// histogram element-wise), e.g. to combine per-shard queues.
+    pub fn merge(&mut self, other: &QueueSnapshot) {
+        self.bookings += other.bookings;
+        self.reorders += other.reorders;
+        self.starvation_promotions += other.starvation_promotions;
+        self.seeks_avoided += other.seeks_avoided;
+        self.seek_bytes_saved += other.seek_bytes_saved;
+        self.collective_rounds += other.collective_rounds;
+        for (a, b) in self.depth_hist.iter_mut().zip(other.depth_hist.iter()) {
+            *a += b;
+        }
+    }
+
     /// One-line rendering for run reports.
     pub fn render_line(&self) -> String {
         format!(

@@ -687,108 +687,58 @@ pub fn run_open_loop(synth: &SynthSpec, spec: &ReplaySpec) -> OpenLoopReport {
         last_done: Cell::new(SimTime::ZERO),
         fragments: synth.fragments,
     });
-    let per_rank = Rc::new(per_rank);
-    let files: Vec<String> = (0..synth.files).map(|f| format!("synth{f}.data")).collect();
+    let files: Vec<String> = open_loop_files(synth);
     let files = Rc::new(files);
-    // A record starting at the last aligned offset ends past `file_bytes`.
-    let extent = synth.file_bytes + synth.op_bytes;
+    let extent = open_loop_extent(synth);
     let sh = Rc::clone(&shared);
     let iface = spec.iface;
     let mode = spec.mode;
     let stats = run_world(spec.machine.clone(), ranks, move |ctx| {
         let sh = Rc::clone(&sh);
-        let per_rank = Rc::clone(&per_rank);
+        let my_clients = per_rank[ctx.rank].clone();
         let files = Rc::clone(&files);
-        Box::pin(async move {
-            let mut fhs = Vec::with_capacity(files.len());
-            for name in files.iter() {
-                let fh = ctx
-                    .fs
-                    .open(ctx.rank, iface, name, Some(CreateOptions::default()))
-                    .await
-                    .expect("open synth file");
-                fh.preallocate(extent);
-                fhs.push(fh);
-            }
-            let fhs = Rc::new(fhs);
-            let h = ctx.fs.machine().handle().clone();
-            let start = h.now();
-            let my_clients = per_rank[ctx.rank].clone();
-            match mode {
-                ReplayMode::TwoPhase { window } => {
-                    // Clients feed an exchange queue; the rank drains it
-                    // in windows.
-                    let (tx, rx) = channel::<(SimTime, TimedOp)>();
-                    let mut drivers = Vec::new();
-                    for ops in my_clients {
-                        let h2 = h.clone();
-                        let tx = tx.clone();
-                        drivers.push(h.spawn(async move {
-                            for op in ops {
-                                let at = start + op.at;
-                                h2.sleep_until(at).await;
-                                tx.send((at, op));
-                            }
-                        }));
-                    }
-                    drop(tx);
-                    let mut batch: Vec<(SimTime, TimedOp)> = Vec::new();
-                    loop {
-                        let item = rx.recv().await;
-                        if let Some(it) = item {
-                            batch.push(it);
-                        }
-                        let closed = item.is_none();
-                        if batch.len() >= window.max(1) || (closed && !batch.is_empty()) {
-                            flush_window(&sh, &fhs, &h, &batch).await;
-                            batch.clear();
-                        }
-                        if closed {
-                            break;
-                        }
-                    }
-                    for d in drivers {
-                        d.await;
-                    }
-                }
-                _ => {
-                    let mut drivers = Vec::new();
-                    for ops in my_clients {
-                        let h2 = h.clone();
-                        let sh = Rc::clone(&sh);
-                        let fhs = Rc::clone(&fhs);
-                        drivers.push(h.spawn(async move {
-                            for op in ops {
-                                let at = start + op.at;
-                                h2.sleep_until(at).await;
-                                let sh = Rc::clone(&sh);
-                                let fhs = Rc::clone(&fhs);
-                                let h3 = h2.clone();
-                                // Detached: the next arrival does not
-                                // wait for this op — the open loop.
-                                h2.spawn(async move {
-                                    issue_op(&sh, &fhs, &op, mode).await;
-                                    sh.finish(at, h3.now());
-                                });
-                            }
-                        }));
-                    }
-                    for d in drivers {
-                        d.await;
-                    }
-                }
-            }
-        })
+        Box::pin(open_loop_rank(
+            ctx, sh, my_clients, files, extent, iface, mode,
+        ))
     });
     let latency = shared.latency.borrow().clone();
-    let completed_ops = shared.completed.get();
+    open_loop_report(
+        synth,
+        stats,
+        latency,
+        offered_ops,
+        shared.completed.get(),
+        shared.last_done.get(),
+    )
+}
+
+/// File names of the synthetic population.
+fn open_loop_files(synth: &SynthSpec) -> Vec<String> {
+    (0..synth.files).map(|f| format!("synth{f}.data")).collect()
+}
+
+/// Preallocation extent: a record starting at the last aligned offset
+/// ends past `file_bytes`.
+fn open_loop_extent(synth: &SynthSpec) -> u64 {
+    synth.file_bytes + synth.op_bytes
+}
+
+/// Assemble an [`OpenLoopReport`] from the run's raw measurements.
+fn open_loop_report(
+    synth: &SynthSpec,
+    stats: RunStats,
+    latency: LatencyHistogram,
+    offered_ops: u64,
+    completed_ops: u64,
+    last_done: SimTime,
+) -> OpenLoopReport {
     let duration = synth.duration.as_secs_f64();
     let offered_rate = if duration > 0.0 {
         offered_ops as f64 / duration
     } else {
         0.0
     };
-    let makespan = (shared.last_done.get() - SimTime::ZERO).as_secs_f64();
+    let makespan = (last_done - SimTime::ZERO).as_secs_f64();
     let achieved_rate = if makespan > 0.0 {
         completed_ops as f64 / makespan
     } else {
@@ -802,6 +752,300 @@ pub fn run_open_loop(synth: &SynthSpec, spec: &ReplaySpec) -> OpenLoopReport {
         offered_rate,
         achieved_rate,
     }
+}
+
+/// One rank's open-loop program: open every file, then drive this rank's
+/// clients (shared by the monolithic and sharded runners).
+async fn open_loop_rank(
+    ctx: WorldCtx,
+    sh: Rc<OpenLoopShared>,
+    my_clients: Vec<Vec<TimedOp>>,
+    files: Rc<Vec<String>>,
+    extent: u64,
+    iface: Interface,
+    mode: ReplayMode,
+) {
+    let mut fhs = Vec::with_capacity(files.len());
+    for name in files.iter() {
+        let fh = ctx
+            .fs
+            .open(ctx.rank, iface, name, Some(CreateOptions::default()))
+            .await
+            .expect("open synth file");
+        fh.preallocate(extent);
+        fhs.push(fh);
+    }
+    let fhs = Rc::new(fhs);
+    let h = ctx.fs.machine().handle().clone();
+    let start = h.now();
+    match mode {
+        ReplayMode::TwoPhase { window } => {
+            // Clients feed an exchange queue; the rank drains it
+            // in windows.
+            let (tx, rx) = channel::<(SimTime, TimedOp)>();
+            let mut drivers = Vec::new();
+            for ops in my_clients {
+                let h2 = h.clone();
+                let tx = tx.clone();
+                drivers.push(h.spawn(async move {
+                    for op in ops {
+                        let at = start + op.at;
+                        h2.sleep_until(at).await;
+                        tx.send((at, op));
+                    }
+                }));
+            }
+            drop(tx);
+            let mut batch: Vec<(SimTime, TimedOp)> = Vec::new();
+            loop {
+                let item = rx.recv().await;
+                if let Some(it) = item {
+                    batch.push(it);
+                }
+                let closed = item.is_none();
+                if batch.len() >= window.max(1) || (closed && !batch.is_empty()) {
+                    flush_window(&sh, &fhs, &h, &batch).await;
+                    batch.clear();
+                }
+                if closed {
+                    break;
+                }
+            }
+            for d in drivers {
+                d.await;
+            }
+        }
+        _ => {
+            let mut drivers = Vec::new();
+            for ops in my_clients {
+                let h2 = h.clone();
+                let sh = Rc::clone(&sh);
+                let fhs = Rc::clone(&fhs);
+                drivers.push(h.spawn(async move {
+                    for op in ops {
+                        let at = start + op.at;
+                        h2.sleep_until(at).await;
+                        let sh = Rc::clone(&sh);
+                        let fhs = Rc::clone(&fhs);
+                        let h3 = h2.clone();
+                        // Detached: the next arrival does not
+                        // wait for this op — the open loop.
+                        h2.spawn(async move {
+                            issue_op(&sh, &fhs, &op, mode).await;
+                            sh.finish(at, h3.now());
+                        });
+                    }
+                }));
+            }
+            for d in drivers {
+                d.await;
+            }
+        }
+    }
+}
+
+/// Everything one shard of a sharded open-loop run reports back.
+struct OpenLoopShardOut {
+    per_rank_io: Vec<SimDuration>,
+    cum_io_time: SimDuration,
+    summary: IoSummary,
+    io_bytes: u64,
+    io_ops: u64,
+    read_sizes: SizeHistogram,
+    write_sizes: SizeHistogram,
+    cache: CacheSnapshot,
+    listio: ListIoSnapshot,
+    queue: QueueSnapshot,
+    latency: LatencyHistogram,
+    completed: u64,
+    last_done: SimTime,
+}
+
+/// Sharded variant of [`run_open_loop`]: partition the machine along its
+/// topology ([`iosim_machine::shard::plan`]) and simulate each shard's
+/// rank group — with its slice of the I/O nodes and its own file system —
+/// on its own executor, run by up to `workers` host threads.
+///
+/// Open-loop clients never talk to each other, so the shards exchange no
+/// cross-shard traffic at all; the conservative windows only pace the
+/// shards through virtual time together. The result is bit-identical for
+/// every `workers` value (the shard decomposition is fixed by the
+/// machine), but differs from [`run_open_loop`]'s monolithic schedule:
+/// each shard stripes its files over its own I/O-node slice. Degenerate
+/// machines fall back to [`run_open_loop`] exactly.
+pub fn run_open_loop_threaded(
+    synth: &SynthSpec,
+    spec: &ReplaySpec,
+    workers: usize,
+) -> OpenLoopReport {
+    use iosim_simkit::shard::{run_sharded, ShardCtx, ShardRuntime};
+
+    let host_t0 = std::time::Instant::now();
+    let workers = workers.max(1);
+    let clients = synth::generate(synth);
+    let offered_ops = synth::total_ops(&clients);
+    let ranks = synth.clients.min(spec.machine.compute_nodes).max(1);
+    let plan = iosim_machine::shard::plan(&spec.machine, ranks);
+    if plan.is_degenerate() {
+        let mut rep = run_open_loop(synth, spec);
+        rep.stats.host_elapsed = host_t0.elapsed();
+        return rep;
+    }
+    let lookahead = plan.lookahead.max(iosim_machine::shard::LOOKAHEAD_FLOOR);
+    let mut per_rank: Vec<Vec<Vec<TimedOp>>> = vec![Vec::new(); ranks];
+    for (c, ops) in clients.into_iter().enumerate() {
+        per_rank[c % ranks].push(ops);
+    }
+    let files = open_loop_files(synth);
+    let extent = open_loop_extent(synth);
+    let fragments = synth.fragments;
+    let iface = spec.iface;
+    let mode = spec.mode;
+    let per_rank = &per_rank;
+    let files = &files;
+    let cfg = &spec.machine;
+    let builders: Vec<_> = plan
+        .shards
+        .iter()
+        .cloned()
+        .map(|sspec| {
+            move |_ctx: ShardCtx<()>| -> ShardRuntime<(), OpenLoopShardOut> {
+                let sim = Sim::new();
+                let trace = TraceCollector::new();
+                // This shard's slice of the machine, on the parent mesh
+                // (global ranks keep their real coordinates).
+                let sub_cfg = cfg
+                    .clone()
+                    .with_compute_nodes(sspec.ranks.max(1))
+                    .with_io_nodes(sspec.io_nodes.max(1));
+                let machine = Machine::new(sim.handle(), sub_cfg);
+                let fs = FileSystem::new(Rc::clone(&machine), trace.clone());
+                let world = World::new(Rc::clone(&machine), sspec.ranks);
+                let shared = Rc::new(OpenLoopShared {
+                    latency: RefCell::new(LatencyHistogram::new()),
+                    completed: Cell::new(0),
+                    last_done: Cell::new(SimTime::ZERO),
+                    fragments,
+                });
+                let shard_files = Rc::new(files.clone());
+                let futs: Vec<RankFuture> = world
+                    .comms()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(local, comm)| -> RankFuture {
+                        let rank = sspec.rank_base + local;
+                        Box::pin(open_loop_rank(
+                            WorldCtx {
+                                rank,
+                                comm,
+                                fs: Rc::clone(&fs),
+                            },
+                            Rc::clone(&shared),
+                            per_rank[rank].clone(),
+                            Rc::clone(&shard_files),
+                            extent,
+                            iface,
+                            mode,
+                        ))
+                    })
+                    .collect();
+                let n = futs.len();
+                let h = sim.handle();
+                let jh = sim.spawn(async move {
+                    let done = join_all(&h, futs).await;
+                    done.len()
+                });
+                ShardRuntime {
+                    sim,
+                    deliver: Box::new(|_| {}),
+                    finish: Box::new(move || {
+                        assert_eq!(
+                            jh.try_take().expect("open-loop shard deadlocked"),
+                            n,
+                            "all ranks of shard {} must finish",
+                            sspec.index
+                        );
+                        // The collector indexes by global rank; keep this
+                        // shard's slice for the cross-shard balance stats.
+                        let mut times = trace.per_rank_io_times();
+                        times.resize(sspec.rank_base + sspec.ranks, SimDuration::ZERO);
+                        OpenLoopShardOut {
+                            per_rank_io: times[sspec.rank_base..].to_vec(),
+                            cum_io_time: trace.cumulative_io_time(),
+                            summary: trace.summary(),
+                            io_bytes: trace.total_bytes(),
+                            io_ops: trace.total_ops(),
+                            read_sizes: trace.read_sizes(),
+                            write_sizes: trace.write_sizes(),
+                            cache: trace.cache().snapshot(),
+                            listio: trace.listio().snapshot(),
+                            queue: trace.queue().snapshot(),
+                            latency: shared.latency.borrow().clone(),
+                            completed: shared.completed.get(),
+                            last_done: shared.last_done.get(),
+                        }
+                    }),
+                }
+            }
+        })
+        .collect();
+    let report = run_sharded(lookahead, workers, builders);
+
+    let mut rank_times: Vec<SimDuration> = Vec::with_capacity(ranks);
+    let mut summary: Option<IoSummary> = None;
+    let mut cum_io_time = SimDuration::ZERO;
+    let mut io_bytes = 0u64;
+    let mut io_ops = 0u64;
+    let mut read_sizes = SizeHistogram::new();
+    let mut write_sizes = SizeHistogram::new();
+    let mut cache = CacheSnapshot::default();
+    let mut listio = ListIoSnapshot::default();
+    let mut queue = QueueSnapshot::default();
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut last_done = SimTime::ZERO;
+    for out in report.results {
+        rank_times.extend_from_slice(&out.per_rank_io);
+        match &mut summary {
+            Some(s) => s.merge(&out.summary),
+            None => summary = Some(out.summary),
+        }
+        cum_io_time += out.cum_io_time;
+        io_bytes += out.io_bytes;
+        io_ops += out.io_ops;
+        read_sizes.merge(&out.read_sizes);
+        write_sizes.merge(&out.write_sizes);
+        cache.merge(&out.cache);
+        listio.merge(&out.listio);
+        queue.merge(&out.queue);
+        latency.merge(&out.latency);
+        completed += out.completed;
+        last_done = last_done.max(out.last_done);
+    }
+    let io_time = rank_times
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max);
+    let stats = RunStats {
+        procs: ranks,
+        io_nodes: spec.machine.io_nodes,
+        exec_time: report.end_time - SimTime::ZERO,
+        io_time,
+        cum_io_time,
+        summary: summary.expect("at least one shard"),
+        io_bytes,
+        io_ops,
+        read_sizes,
+        write_sizes,
+        balance: BalanceStats::from_times(&rank_times),
+        cache,
+        listio,
+        queue,
+        sim_events: report.events,
+        sched_fingerprint: report.fingerprint,
+        host_elapsed: host_t0.elapsed(),
+    };
+    open_loop_report(synth, stats, latency, offered_ops, completed, last_done)
 }
 
 /// Issue one open-loop op in direct or list-I/O style.
@@ -1019,6 +1263,40 @@ mod tests {
         let rep = run_open_loop(&synth, &ReplaySpec::two_phase(presets::paragon_small(), 8));
         assert_eq!(rep.offered_ops, rep.completed_ops);
         assert!(rep.latency.count() > 0);
+    }
+
+    #[test]
+    fn open_loop_threaded_is_worker_invariant_and_complete() {
+        let synth = SynthSpec {
+            clients: 8,
+            files: 2,
+            ..SynthSpec::small(20.0, 7)
+        };
+        let spec = ReplaySpec::direct(presets::paragon_small());
+        let a = run_open_loop_threaded(&synth, &spec, 1);
+        let b = run_open_loop_threaded(&synth, &spec, 4);
+        assert_eq!(a.stats.sched_fingerprint, b.stats.sched_fingerprint);
+        assert_eq!(a.stats.exec_time, b.stats.exec_time);
+        assert_eq!(a.stats.sim_events, b.stats.sim_events);
+        assert_eq!(a.stats.io_bytes, b.stats.io_bytes);
+        assert_eq!(a.completed_ops, a.offered_ops);
+        assert_eq!(a.latency.count(), a.completed_ops);
+        assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+    }
+
+    #[test]
+    fn open_loop_threaded_degenerate_matches_monolithic() {
+        let synth = SynthSpec {
+            clients: 4,
+            ..SynthSpec::small(10.0, 5)
+        };
+        let spec = ReplaySpec::direct(presets::paragon_small().with_io_nodes(1));
+        let a = run_open_loop(&synth, &spec);
+        let b = run_open_loop_threaded(&synth, &spec, 4);
+        assert_eq!(a.stats.sched_fingerprint, b.stats.sched_fingerprint);
+        assert_eq!(a.stats.exec_time, b.stats.exec_time);
+        assert_eq!(a.stats.sim_events, b.stats.sim_events);
+        assert_eq!(a.completed_ops, b.completed_ops);
     }
 
     #[test]

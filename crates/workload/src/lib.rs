@@ -41,8 +41,8 @@ pub mod synth;
 pub use arrival::ArrivalModel;
 pub use darshan::DarshanSummary;
 pub use engine::{
-    replay, run_open_loop, saturation_knee, OpenLoopReport, ReplayMode, ReplayReport, ReplaySpec,
-    RunStats, SweepPoint,
+    replay, run_open_loop, run_open_loop_threaded, saturation_knee, OpenLoopReport, ReplayMode,
+    ReplayReport, ReplaySpec, RunStats, SweepPoint,
 };
 pub use opstream::{
     detect_format, parse_any, parse_legacy, parse_opstream, render_legacy, render_opstream,

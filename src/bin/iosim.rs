@@ -58,6 +58,23 @@ impl Opts {
     }
 }
 
+/// `--threads N` selects the sharded parallel engine with N host
+/// workers; without the flag, the `IOSIM_THREADS` environment pin (the
+/// same override the bench sweeps honor) is consulted, and with neither
+/// the original monolithic engine runs. The sharded engine partitions
+/// the machine along I/O-node boundaries, so its virtual times are
+/// bit-identical for every N >= 1 — but they are a different (shard-
+/// partitioned) model than the monolithic engine's.
+fn threads(o: &Opts) -> Option<usize> {
+    if o.0.contains_key("threads") {
+        return Some(o.get("threads", 1).max(1));
+    }
+    std::env::var("IOSIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 1)
+}
+
 fn parse_flags(args: impl Iterator<Item = String>) -> Opts {
     let mut map = HashMap::new();
     let mut key: Option<String> = None;
@@ -110,7 +127,10 @@ fn run_scf11(o: &Opts) -> RunResult {
         version,
         cfg.tuple()
     );
-    let r = scf11::run(&cfg);
+    let r = match threads(o) {
+        Some(t) => scf11::run_threaded(&cfg, t),
+        None => scf11::run(&cfg),
+    };
     eprintln!("foreground I/O time: {}", r.fg_io_time);
     r.run
 }
@@ -133,7 +153,10 @@ fn run_scf30(o: &Opts) -> RunResult {
         "SCF 3.0 MEDIUM {}% cached, {} procs, {} I/O nodes",
         cfg.cached_percent, cfg.procs, cfg.io_nodes
     );
-    let r = scf30::run(&cfg);
+    let r = match threads(o) {
+        Some(t) => scf30::run_threaded(&cfg, t),
+        None => scf30::run(&cfg),
+    };
     eprintln!("balance moved: {} KB", r.balance_moved / 1024);
     r.run
 }
@@ -148,7 +171,10 @@ fn run_fft(o: &Opts) -> RunResult {
         "2-D out-of-core FFT {}x{} complex, {} procs, {} I/O nodes, optimized={}",
         cfg.n, cfg.n, cfg.procs, cfg.io_nodes, cfg.optimized
     );
-    fft::run(&cfg)
+    match threads(o) {
+        Some(t) => fft::run_threaded(&cfg, t),
+        None => fft::run(&cfg),
+    }
 }
 
 fn run_btio(o: &Opts) -> RunResult {
@@ -177,7 +203,10 @@ fn run_btio(o: &Opts) -> RunResult {
         cfg.dumps,
         cfg.optimized
     );
-    btio::run(&cfg)
+    match threads(o) {
+        Some(t) => btio::run_threaded(&cfg, t),
+        None => btio::run(&cfg),
+    }
 }
 
 fn run_ast(o: &Opts) -> RunResult {
@@ -198,7 +227,10 @@ fn run_ast(o: &Opts) -> RunResult {
         "AST {}x{} grid, {} arrays, {} procs, {} I/O nodes, optimized={}",
         cfg.grid, cfg.grid, cfg.arrays, cfg.procs, cfg.io_nodes, cfg.optimized
     );
-    ast::run(&cfg)
+    match threads(o) {
+        Some(t) => ast::run_threaded(&cfg, t),
+        None => ast::run(&cfg),
+    }
 }
 
 fn machine_preset(o: &Opts) -> iosim::machine::MachineConfig {
@@ -252,6 +284,9 @@ fn run_replay(o: &Opts) -> RunResult {
         stream.ranks(),
         spec.mode,
     );
+    if threads(o).is_some() {
+        eprintln!("replay is monolithic (cross-rank trace dependencies); ignoring --threads");
+    }
     let report = workload::replay(&stream, &spec);
     println!("{}", report.latency.render_line());
     println!(
@@ -296,7 +331,10 @@ fn run_synth(o: &Opts) -> RunResult {
         synth.duration,
         spec.mode,
     );
-    let report = iosim::workload::run_open_loop(&synth, &spec);
+    let report = match threads(o) {
+        Some(t) => iosim::workload::run_open_loop_threaded(&synth, &spec, t),
+        None => iosim::workload::run_open_loop(&synth, &spec),
+    };
     println!("{}", report.latency.render_line());
     println!(
         "offered        : {:.1} ops/s ({} ops)",
@@ -361,6 +399,8 @@ fn usage() {
          common flags: --procs N --io-nodes N --scale X --optimized\n\
          \x20             --cache MB   per-I/O-node LRU buffer cache (0 = off, the default)\n\
          \x20             --queue-depth N   I/O-node command-queue depth (1 = FIFO, the default)\n\
+         \x20             --threads N  host threads for the sharded engine (default: $IOSIM_THREADS, else 1);\n\
+         \x20                          virtual times and fingerprints are identical at any thread count\n\
          scf11: --input small|medium|large --version original|passion|prefetch --mem-kb N --stripe-kb N\n\
          scf30: --cached PCT --unbalanced --no-prefetch\n\
          fft:   --n N --mem-mb N\n\

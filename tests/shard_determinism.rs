@@ -1,0 +1,119 @@
+//! Cross-thread determinism stress suite for the sharded engine.
+//!
+//! The conservative-lookahead engine must produce bit-identical results
+//! at every worker count: the shard decomposition is fixed by the
+//! machine topology, windows advance by the same lookahead, and
+//! cross-shard mailboxes deliver in a deterministic `(deliver_at, src,
+//! seq)` order — host scheduling may interleave shard *polls*
+//! differently, but no simulated observable may move.
+//!
+//! Each test pins one application at the same small configuration the
+//! scheduler snapshot suite uses (queue depth 1, cache off), runs a
+//! single-worker oracle, then replays the sharded engine at 2 and 4
+//! workers five times each. Five repetitions matter: a racy mailbox or
+//! barrier would pass a single comparison with high probability and
+//! still trip here.
+
+use iosim::apps::{ast, btio, fft, scf11, scf30, RunResult};
+
+const REPS: usize = 5;
+const WORKER_LADDER: [usize; 2] = [2, 4];
+
+fn run_threaded(app: &str, workers: usize) -> RunResult {
+    match app {
+        "scf11" => {
+            scf11::run_threaded(
+                &scf11::Scf11Config {
+                    scale: 0.02,
+                    ..scf11::Scf11Config::new(
+                        scf11::ScfInput::Small,
+                        scf11::Scf11Version::PassionPrefetch,
+                    )
+                },
+                workers,
+            )
+            .run
+        }
+        "scf30" => {
+            scf30::run_threaded(
+                &scf30::Scf30Config {
+                    scale: 0.02,
+                    ..scf30::Scf30Config::new(scf11::ScfInput::Small, 8, 75)
+                },
+                workers,
+            )
+            .run
+        }
+        "fft" => fft::run_threaded(&fft::FftConfig::new(128, 4, true), workers),
+        "btio" => btio::run_threaded(
+            &btio::BtioConfig {
+                dumps: 2,
+                ..btio::BtioConfig::new(btio::BtClass::Custom(16), 9, false)
+            },
+            workers,
+        ),
+        "ast" => ast::run_threaded(
+            &ast::AstConfig {
+                grid: 64,
+                arrays: 2,
+                dumps: 2,
+                ..ast::AstConfig::new(4, 16, true)
+            },
+            workers,
+        ),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+fn assert_matches_oracle(app: &str) {
+    let oracle = run_threaded(app, 1);
+    for workers in WORKER_LADDER {
+        for rep in 0..REPS {
+            let r = run_threaded(app, workers);
+            let tag = format!("{app} workers={workers} rep={rep}");
+            assert_eq!(
+                r.exec_time, oracle.exec_time,
+                "{tag}: exec_time diverged from single-worker oracle"
+            );
+            assert_eq!(r.io_time, oracle.io_time, "{tag}: io_time diverged");
+            assert_eq!(r.io_bytes, oracle.io_bytes, "{tag}: io_bytes diverged");
+            assert_eq!(r.io_ops, oracle.io_ops, "{tag}: io_ops diverged");
+            assert_eq!(
+                r.sim_events, oracle.sim_events,
+                "{tag}: poll count diverged"
+            );
+            assert_eq!(
+                r.sched_fingerprint, oracle.sched_fingerprint,
+                "{tag}: schedule fingerprint diverged"
+            );
+        }
+    }
+}
+
+// One test per application so failures localize and the stress runs
+// spread across test threads.
+
+#[test]
+fn scf11_is_worker_count_invariant() {
+    assert_matches_oracle("scf11");
+}
+
+#[test]
+fn scf30_is_worker_count_invariant() {
+    assert_matches_oracle("scf30");
+}
+
+#[test]
+fn fft_is_worker_count_invariant() {
+    assert_matches_oracle("fft");
+}
+
+#[test]
+fn btio_is_worker_count_invariant() {
+    assert_matches_oracle("btio");
+}
+
+#[test]
+fn ast_is_worker_count_invariant() {
+    assert_matches_oracle("ast");
+}

@@ -22,6 +22,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 echo "== workspace tests =="
 cargo test -q --offline --workspace
 
+echo "== sharded engine determinism (IOSIM_THREADS=1 and =4) =="
+# The parallel engine must produce bit-identical virtual times and
+# schedule fingerprints at any worker count. Run the scheduler snapshot
+# suite with the sharded path pinned serial and pinned to four real
+# threads; both must match the committed oracles.
+IOSIM_THREADS=1 cargo test -q --offline --test sched_determinism
+IOSIM_THREADS=4 cargo test -q --offline --test sched_determinism
+
 echo "== workload replay smoke (three modes over the committed sample) =="
 # Replays tests/data/sample_opstream.trace through every replay mode and
 # fails on a nonzero exit or an empty latency histogram: the engine must
@@ -38,7 +46,7 @@ for mode in direct list twophase; do
 done
 
 echo "== bench wallclock smoke =="
-# Gate is "runs without panicking and emits a well-formed v3 document"
+# Gate is "runs without panicking and emits a well-formed v4 document"
 # — wall-clock timings are machine-dependent and never fail the build,
 # but `bench check` does fail on NaN/negative wall times, non-integer
 # counters, a missing data_plane/workload section, all-zero data-plane
